@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one paper table/figure/claim (see DESIGN.md §4)
+and reports it two ways:
+
+* printed to stdout (visible with ``pytest benchmarks/ --benchmark-only -s``
+  or in the teed bench output), and
+* written to ``benchmarks/results/<bench>.txt`` so EXPERIMENTS.md can
+  embed the measured tables verbatim.
+
+The pytest-benchmark fixture wraps the experiment body, so the timing
+columns of the benchmark summary measure the full experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record(request):
+    """Returns ``record(text)``: print + persist a bench's result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / f"{request.node.name}.txt"
+
+    def _record(text: str) -> None:
+        print()
+        print(text)
+        target.write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The §1 attack, replayed: why sleepy protocols need message expiration.
+
+An adversary controlling 20% of the processes waits for an asynchronous
+decision round, equivocates votes on two freshly minted conflicting
+blocks, and delivers to each half of the network only the votes for one
+of them.  Against the original MMR protocol, every honest process
+perceives a unanimous quorum and the network forks.  The identical
+attack against the η-expiration protocol fails: receivers still hold
+unexpired honest votes, the forged votes stay below the 2/3 quorum, and
+nobody decides a conflicting log (Theorem 2).
+
+Run:  python examples/asynchrony_attack.py
+"""
+
+from repro.analysis import check_asynchrony_resilience, check_safety, format_table
+from repro.harness import run_tob
+from repro.workloads import split_vote_attack_scenario
+
+
+def describe(trace, ra: int, pi: int) -> dict:
+    safety = check_safety(trace)
+    resilience = check_asynchrony_resilience(trace, ra=ra, pi=pi)
+    forks = {
+        (c.first.tip, c.second.tip) for c in safety.conflicts
+    }
+    return {
+        "safety": safety.ok,
+        "resilience": resilience.ok,
+        "forks": len(forks),
+        "decisions": len(trace.decisions),
+    }
+
+
+def main() -> None:
+    pi = 1
+    rows = []
+    for protocol, eta in (("mmr", 0), ("resilient", 2), ("resilient", 4)):
+        config = split_vote_attack_scenario(protocol, eta=eta, pi=pi, n=20, target_round=10)
+        trace = run_tob(config)
+        outcome = describe(trace, ra=config.meta["ra"], pi=pi)
+        rows.append(
+            [
+                f"{protocol} (η={eta})",
+                outcome["safety"],
+                outcome["resilience"],
+                outcome["forks"],
+                outcome["decisions"],
+            ]
+        )
+
+    print(
+        format_table(
+            ["protocol", "safe", "asynchrony-resilient", "forks", "decisions"],
+            rows,
+            title=f"Split-vote attack in a π={pi} asynchronous window (n=20, 4 Byzantine)",
+        )
+    )
+    print()
+    print("The original protocol forks under a single adversarial round;")
+    print("the same attack bounces off the expiration-equipped protocol.")
+
+
+if __name__ == "__main__":
+    main()

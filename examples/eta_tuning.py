@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Calibrating the expiration period η (paper §3, step 1).
+
+Choosing η is the deployment's central trade-off:
+
+* resilience — the protocol tolerates asynchronous periods up to
+  π = η − 1 rounds (Theorem 2);
+* churn — tolerating churn rate γ per η rounds costs failure-ratio
+  headroom: β̃ = (β − γ)/(γ(β − 2) + 1) (Equation 2, Figure 1).
+
+This example prints the Figure 1 curve and, for a target per-round
+churn, the (η → π, β̃) menu an operator would pick from.
+
+Run:  python examples/eta_tuning.py
+"""
+
+from fractions import Fraction
+
+from repro.analysis import format_table
+from repro.core.bounds import beta_tilde, figure1_curve, max_resilient_pi
+
+
+def main() -> None:
+    # --- Figure 1: the γ → β̃ curve for the 2/3 decision threshold -----
+    rows = [
+        [float(gamma), float(value), "" if value > 0 else "stall"]
+        for gamma, value in figure1_curve(points=9, gamma_max=Fraction(32, 100))
+    ]
+    print(
+        format_table(
+            ["drop-off rate γ", "allowable failure ratio β̃", ""],
+            rows,
+            title="Figure 1: β̃ = (1 − 3γ)/(3 − 5γ) for β = 1/3",
+        )
+    )
+
+    # --- The operator's menu -------------------------------------------
+    # Suppose measurements say ~2% of recently-awake processes go to
+    # sleep per round.  Churn per η rounds then scales with η, eating
+    # into the tolerable failure ratio as η grows.
+    per_round_churn = Fraction(2, 100)
+    print()
+    rows = []
+    for eta in (1, 2, 4, 8, 12, 16):
+        gamma = min(per_round_churn * eta, Fraction(32, 100))
+        value = beta_tilde(Fraction(1, 3), gamma)
+        rows.append(
+            [
+                eta,
+                max_resilient_pi(eta),
+                float(gamma),
+                float(value),
+                f"{int(value * 48)} of 48",
+            ]
+        )
+    print(
+        format_table(
+            ["η", "tolerated π", "γ per η rounds", "β̃", "max Byzantine (n=48)"],
+            rows,
+            title="η menu at 2% per-round churn (β = 1/3)",
+        )
+    )
+    print()
+    print("Bigger η buys longer asynchrony tolerance but, under the same")
+    print("per-round churn, leaves room for fewer Byzantine processes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Replay of the May 2023 Ethereum incident (paper §1, footnote 1).
+
+Roughly 60% of Ethereum's consensus clients crashed at once due to a
+software bug and came back ~25 minutes later; the dynamically available
+chain kept growing throughout.  This example replays that shape on the
+η-expiration protocol: 50 processes, 60% asleep for 20 rounds, and a
+per-round participation/chain-depth timeline to watch the system sail
+through.
+
+Run:  python examples/ethereum_outage.py
+"""
+
+from repro.analysis import (
+    chain_growth_rate,
+    check_safety,
+    decided_depth_timeline,
+    format_table,
+    participation_timeline,
+)
+from repro.harness import run_tob
+from repro.workloads import ethereum_outage_scenario
+
+
+def main() -> None:
+    start, duration = 10, 20
+    config = ethereum_outage_scenario(
+        protocol="resilient", eta=4, n=50, start=start, duration=duration, rounds=50
+    )
+    trace = run_tob(config)
+    assert check_safety(trace).ok
+
+    participation = dict(
+        (r, awake) for r, awake, _honest in participation_timeline(trace)
+    )
+    depth = {p.round: p.depth for p in decided_depth_timeline(trace)}
+
+    rows = []
+    for r in range(0, 50, 4):
+        phase = "outage" if start <= r < start + duration else "normal"
+        bar = "#" * (participation[r] // 2)
+        rows.append([r, phase, participation[r], depth[r], bar])
+    print(
+        format_table(
+            ["round", "phase", "awake", "decided depth", "participation"],
+            rows,
+            title="60% of 50 processes offline during rounds 10-29",
+        )
+    )
+
+    during = chain_growth_rate(trace, start=start + 2, end=start + duration)
+    after = chain_growth_rate(trace, start=start + duration + 2, end=49)
+    print()
+    print(f"Chain growth during the outage : {during:.3f} blocks/round")
+    print(f"Chain growth after recovery    : {after:.3f} blocks/round")
+    print("The chain never stopped: dynamic availability in action.")
+
+
+if __name__ == "__main__":
+    main()

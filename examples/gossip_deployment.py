@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""A real-time deployment: rounds of Δ = 3δ over an asyncio gossip overlay.
+
+Runs the η-expiration protocol on 8 nodes connected by a random
+4-regular gossip network with seeded link latencies, then injects a
+latency surge (a real asynchronous period: the network turns slow, not
+lossy) and shows the protocol deciding straight through it.
+
+Run:  python examples/gossip_deployment.py
+"""
+
+from repro.analysis import check_safety, decision_rounds, format_table
+from repro.runtime import DeploymentConfig, run_deployment
+
+
+def main() -> None:
+    delta_s = 0.02  # 20 ms synchrony bound → 60 ms rounds
+    surge = (7, 2, 25.0)  # rounds 8-9: latency × 25 (≫ δ)
+    config = DeploymentConfig(
+        n=8,
+        rounds=20,
+        delta_s=delta_s,
+        protocol="resilient",
+        eta=4,
+        gossip_degree=4,
+        surge=surge,
+        seed=11,
+    )
+    result = run_deployment(config)
+    trace = result.trace
+    safety = check_safety(trace)
+
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["nodes", config.n],
+                ["δ (ms)", delta_s * 1000],
+                ["round duration (ms)", 3 * delta_s * 1000],
+                ["rounds run", config.rounds],
+                ["latency surge", f"rounds {surge[0] + 1}-{surge[0] + surge[1]} ×{surge[2]:.0f}"],
+                ["wall-clock (s)", result.wall_seconds],
+                ["gossip messages", result.messages_sent],
+                ["decisions", len(trace.decisions)],
+                ["safety", safety.ok],
+            ],
+            title="Deployment summary",
+        )
+    )
+    print()
+    rounds = decision_rounds(trace)
+    marks = ["*" if r in rounds else "." for r in range(config.rounds)]
+    print("decision rounds:  " + " ".join(f"{r:>2}" for r in range(config.rounds)))
+    print("                  " + "  ".join(marks))
+    print()
+    assert safety.ok
+    print("Safe throughout the surge — on a real event loop, not a round model.")
+
+
+if __name__ == "__main__":
+    main()

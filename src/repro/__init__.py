@@ -1,0 +1,119 @@
+"""Asynchrony-resilient sleepy total-order broadcast — full reproduction.
+
+Reproduces D'Amato, Losa & Zanolini, *Asynchrony-Resilient Sleepy
+Total-Order Broadcast Protocols* (PODC 2024, arXiv:2309.05347): the
+Malkhi–Momose–Ren dynamically available TOB, the paper's message
+expiration mechanism (η), the extended graded agreement, the sleepy
+round model with bounded asynchronous periods, and the analytic bounds
+of Figure 1 — plus the simulation, analysis, and deployment substrates
+needed to evaluate them.
+
+Quick start::
+
+    from fractions import Fraction
+    import repro
+
+    trace = repro.run_tob(repro.TOBRunConfig(n=20, rounds=40, protocol="resilient", eta=3))
+    report = repro.check_safety(trace)
+    assert report.ok
+
+See README.md for the tour and DESIGN.md for the architecture.
+"""
+
+from repro.chain import Block, BlockTree, Log, Mempool, Transaction
+from repro.core.bounds import (
+    beta_tilde,
+    beta_tilde_one_third,
+    eta_for_resilience,
+    figure1_curve,
+    gamma_for_beta_tilde,
+    max_churn,
+    max_resilient_pi,
+)
+from repro.core.expiration import LatestVoteStore
+from repro.core.extended_ga import ExtendedGAInstance, ExtendedGAProcess, InitialVote
+from repro.core.resilient_tob import ResilientTOBProcess, resilient_factory
+from repro.harness import TOBRunConfig, build_simulation, run_simulation, run_tob
+from repro.protocols.graded_agreement import GAOutput, tally_votes
+from repro.protocols.mmr_tob import MMRProcess, mmr_factory
+from repro.sleepy import (
+    Adversary,
+    AdversarialProposerAdversary,
+    CrashAdversary,
+    DiurnalSchedule,
+    EquivocatingVoteAdversary,
+    FullParticipation,
+    MultiWindowAsynchrony,
+    NullAdversary,
+    RandomChurnSchedule,
+    Simulation,
+    SpikeSchedule,
+    SplitVoteAttack,
+    SynchronousNetwork,
+    TableSchedule,
+    Trace,
+    WindowedAsynchrony,
+    WithholdingAdversary,
+)
+from repro.analysis import (
+    check_asynchrony_resilience,
+    check_churn,
+    check_eta_sleepiness,
+    check_failure_ratio,
+    check_healing,
+    check_safety,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adversary",
+    "AdversarialProposerAdversary",
+    "Block",
+    "BlockTree",
+    "CrashAdversary",
+    "DiurnalSchedule",
+    "EquivocatingVoteAdversary",
+    "ExtendedGAInstance",
+    "ExtendedGAProcess",
+    "FullParticipation",
+    "GAOutput",
+    "InitialVote",
+    "LatestVoteStore",
+    "Log",
+    "MMRProcess",
+    "Mempool",
+    "MultiWindowAsynchrony",
+    "NullAdversary",
+    "RandomChurnSchedule",
+    "ResilientTOBProcess",
+    "Simulation",
+    "SpikeSchedule",
+    "SplitVoteAttack",
+    "SynchronousNetwork",
+    "TOBRunConfig",
+    "TableSchedule",
+    "Trace",
+    "Transaction",
+    "WindowedAsynchrony",
+    "WithholdingAdversary",
+    "beta_tilde",
+    "beta_tilde_one_third",
+    "build_simulation",
+    "check_asynchrony_resilience",
+    "check_churn",
+    "check_eta_sleepiness",
+    "check_failure_ratio",
+    "check_healing",
+    "check_safety",
+    "eta_for_resilience",
+    "figure1_curve",
+    "gamma_for_beta_tilde",
+    "max_churn",
+    "max_resilient_pi",
+    "mmr_factory",
+    "resilient_factory",
+    "run_simulation",
+    "run_tob",
+    "tally_votes",
+]

@@ -1,0 +1,198 @@
+"""Trace checkers for the paper's correctness definitions.
+
+Each checker takes a :class:`~repro.sleepy.trace.Trace` and returns a
+small report object — ``ok`` plus enough detail to debug a violation.
+The checkers implement the definitions *literally*:
+
+* :func:`check_safety` — Definition 2 safety: all logs delivered by
+  well-behaved processes are pairwise compatible.
+* :func:`check_asynchrony_resilience` — Definition 5: during
+  ``[ra+1, ra+π+1]`` no process of ``H_ra`` decides a log conflicting
+  with ``D_ra``, and after ``ra+π+1`` no well-behaved process at all
+  does.
+* :func:`check_healing` — Definition 6 with constant ``k``: after round
+  ``r + k`` all well-behaved logs are pairwise compatible and decisions
+  keep happening.
+* :func:`check_transaction_liveness` — Definition 2 liveness for one
+  transaction: some delivered log contains it and every process that
+  keeps deciding eventually delivers a log containing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.block import BlockId
+from repro.sleepy.trace import DecisionEvent, Trace
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """Two decisions on conflicting logs."""
+
+    first: DecisionEvent
+    second: DecisionEvent
+
+
+@dataclass
+class SafetyReport:
+    """Outcome of a pairwise-compatibility check."""
+
+    ok: bool
+    conflicts: list[Conflict] = field(default_factory=list)
+    decisions_checked: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_safety(trace: Trace, max_conflicts: int = 16) -> SafetyReport:
+    """Definition 2 safety over every decision in the trace."""
+    # Group by tip: pairwise compatibility only depends on distinct tips.
+    by_tip: dict[BlockId | None, DecisionEvent] = {}
+    for event in trace.decisions:
+        by_tip.setdefault(event.tip, event)
+    tips = list(by_tip)
+    conflicts: list[Conflict] = []
+    for i, a in enumerate(tips):
+        for b in tips[i + 1:]:
+            if trace.tree.conflict(a, b):
+                conflicts.append(Conflict(by_tip[a], by_tip[b]))
+                if len(conflicts) >= max_conflicts:
+                    return SafetyReport(False, conflicts, len(trace.decisions))
+    return SafetyReport(not conflicts, conflicts, len(trace.decisions))
+
+
+@dataclass
+class ResilienceReport:
+    """Outcome of the Definition 5 check."""
+
+    ok: bool
+    ra: int
+    pi: int
+    pre_async_tips: frozenset[BlockId | None]
+    conflicts: list[Conflict] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_asynchrony_resilience(trace: Trace, ra: int, pi: int) -> ResilienceReport:
+    """Definition 5 against the asynchronous period ``[ra+1, ra+π]``."""
+    d_ra = trace.decided_tips_up_to(ra)
+    h_ra = trace.record(ra).honest if ra < trace.horizon else frozenset()
+    witnesses: dict[BlockId | None, DecisionEvent] = {}
+    for event in trace.decisions:
+        if event.round <= ra and event.tip in d_ra:
+            witnesses.setdefault(event.tip, event)
+
+    conflicts: list[Conflict] = []
+    for event in trace.decisions:
+        if event.round <= ra:
+            continue
+        during_window = event.round <= ra + pi + 1
+        if during_window and event.pid not in h_ra:
+            # During the window, Definition 5 constrains only processes
+            # awake at ra; newly awake processes are covered after it.
+            continue
+        for tip in d_ra:
+            if trace.tree.conflict(event.tip, tip):
+                conflicts.append(Conflict(witnesses[tip], event))
+                break
+    return ResilienceReport(not conflicts, ra, pi, d_ra, conflicts)
+
+
+@dataclass
+class HealingReport:
+    """Outcome of the Definition 6 check."""
+
+    ok: bool
+    safety_ok: bool
+    liveness_ok: bool
+    first_decision_after: int | None
+    rounds_to_decision: int | None
+    conflicts: list[Conflict] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_healing(
+    trace: Trace,
+    last_async_round: int,
+    k: int = 1,
+    liveness_margin: int = 8,
+) -> HealingReport:
+    """Definition 6: safety and liveness restored after ``last_async_round + k``.
+
+    Safety is checked over decisions at rounds ``> last_async_round + k``;
+    liveness requires a *new* decision within ``liveness_margin`` rounds
+    of the healing point (Theorem 3 promises ~1 view under the paper's
+    assumptions; the margin accommodates proposer luck).
+    """
+    healed_from = last_async_round + k
+    post = [d for d in trace.decisions if d.round > healed_from]
+
+    by_tip: dict[BlockId | None, DecisionEvent] = {}
+    for event in post:
+        by_tip.setdefault(event.tip, event)
+    tips = list(by_tip)
+    conflicts: list[Conflict] = []
+    for i, a in enumerate(tips):
+        for b in tips[i + 1:]:
+            if trace.tree.conflict(a, b):
+                conflicts.append(Conflict(by_tip[a], by_tip[b]))
+    safety_ok = not conflicts
+
+    first_after = min((d.round for d in post), default=None)
+    rounds_to = None if first_after is None else first_after - healed_from
+    liveness_ok = rounds_to is not None and rounds_to <= liveness_margin
+    return HealingReport(
+        ok=safety_ok and liveness_ok,
+        safety_ok=safety_ok,
+        liveness_ok=liveness_ok,
+        first_decision_after=first_after,
+        rounds_to_decision=rounds_to,
+        conflicts=conflicts,
+    )
+
+
+@dataclass
+class LivenessReport:
+    """Outcome of a per-transaction liveness check."""
+
+    ok: bool
+    included_round: int | None
+    laggards: frozenset[int] = frozenset()
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_transaction_liveness(trace: Trace, tx_id: str) -> LivenessReport:
+    """Definition 2 liveness for one transaction.
+
+    The transaction must appear in some delivered log, and every process
+    that delivers anything *after* that round must deliver a log
+    containing it (processes asleep from then on are exempt — the
+    definition only binds processes "awake for sufficiently long").
+    """
+    included_round: int | None = None
+    for event in sorted(trace.decisions, key=lambda d: d.round):
+        if tx_id in trace.tree.payload_ids(event.tip):
+            included_round = event.round
+            break
+    if included_round is None:
+        return LivenessReport(False, None)
+
+    laggards: set[int] = set()
+    last_by_pid: dict[int, DecisionEvent] = {}
+    for event in trace.decisions:
+        if event.round >= included_round:
+            current = last_by_pid.get(event.pid)
+            if current is None or event.round > current.round:
+                last_by_pid[event.pid] = event
+    for pid, event in last_by_pid.items():
+        if tx_id not in trace.tree.payload_ids(event.tip):
+            laggards.add(pid)
+    return LivenessReport(not laggards, included_round, frozenset(laggards))

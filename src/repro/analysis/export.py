@@ -1,0 +1,179 @@
+"""Trace serialisation: save runs as JSON, reload them for analysis.
+
+Long parameter sweeps are cheaper to analyse offline: run once, save the
+trace, and run every checker/metric later (all of
+:mod:`repro.analysis` operates on the reloaded object identically).
+The format is self-contained — blocks, transactions, participation
+records, decisions, and metadata all round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+
+from repro.chain.block import Block
+from repro.chain.transactions import Transaction
+from repro.chain.tree import BlockTree
+from repro.sleepy.trace import DecisionEvent, RoundRecord, Trace
+
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict:
+    """A JSON-safe dictionary capturing the whole trace."""
+    blocks = []
+    seen: set[str] = set()
+    # Serialise in depth order so parents always precede children.
+    pending = sorted(
+        (trace.tree.depth(tip), tip) for tip in trace.tree.tips()
+    )
+    for _, tip in pending:
+        for block_id in trace.tree.path(tip):
+            if block_id in seen:
+                continue
+            seen.add(block_id)
+            block = trace.tree.get(block_id)
+            blocks.append(
+                {
+                    "parent": block.parent,
+                    "proposer": block.proposer,
+                    "view": block.view,
+                    "salt": block.salt,
+                    "payload": [
+                        {
+                            "sender": tx.sender,
+                            "nonce": tx.nonce,
+                            "payload": tx.payload.hex(),
+                            "checksum": tx.checksum,
+                        }
+                        for tx in block.payload
+                    ],
+                }
+            )
+    blocks.sort(key=lambda b: _depth_key(b, blocks))
+    return {
+        "version": FORMAT_VERSION,
+        "n": trace.n,
+        "meta": {key: _encode_meta(value) for key, value in trace.meta.items()},
+        "rounds": [
+            {
+                "round": rec.round,
+                "awake": sorted(rec.awake),
+                "honest": sorted(rec.honest),
+                "byzantine": sorted(rec.byzantine),
+                "asynchronous": rec.asynchronous,
+                "votes_sent": rec.votes_sent,
+                "proposes_sent": rec.proposes_sent,
+                "other_sent": rec.other_sent,
+            }
+            for rec in trace.rounds
+        ],
+        "decisions": [
+            {"pid": d.pid, "round": d.round, "view": d.view, "tip": d.tip}
+            for d in trace.decisions
+        ],
+        "blocks": blocks,
+    }
+
+
+def _depth_key(block: dict, blocks: list[dict]) -> int:
+    # Blocks were appended path-by-path, so parents already precede
+    # children; a stable sort on "has no parent first" is sufficient.
+    return 0 if block["parent"] is None else 1
+
+
+def trace_from_dict(data: dict) -> Trace:
+    """Rebuild a :class:`Trace` from :func:`trace_to_dict` output."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {data.get('version')!r}")
+    tree = BlockTree()
+    pending = [
+        Block(
+            parent=raw["parent"],
+            proposer=raw["proposer"],
+            view=raw["view"],
+            salt=raw["salt"],
+            payload=tuple(
+                Transaction(
+                    sender=tx["sender"],
+                    nonce=tx["nonce"],
+                    payload=bytes.fromhex(tx["payload"]),
+                    checksum=tx["checksum"],
+                )
+                for tx in raw["payload"]
+            ),
+        )
+        for raw in data["blocks"]
+    ]
+    # Insert respecting parent order (a bounded number of passes).
+    remaining = pending
+    while remaining:
+        progressed = []
+        deferred = []
+        for block in remaining:
+            if block.parent is None or block.parent in tree:
+                tree.add(block)
+                progressed.append(block)
+            else:
+                deferred.append(block)
+        if not progressed:
+            raise ValueError("trace blocks do not form a tree")
+        remaining = deferred
+
+    trace = Trace(
+        n=data["n"],
+        tree=tree,
+        meta={key: _decode_meta(value) for key, value in data["meta"].items()},
+    )
+    for rec in data["rounds"]:
+        trace.rounds.append(
+            RoundRecord(
+                round=rec["round"],
+                awake=frozenset(rec["awake"]),
+                honest=frozenset(rec["honest"]),
+                byzantine=frozenset(rec["byzantine"]),
+                asynchronous=rec["asynchronous"],
+                votes_sent=rec["votes_sent"],
+                proposes_sent=rec["proposes_sent"],
+                other_sent=rec["other_sent"],
+            )
+        )
+    for d in data["decisions"]:
+        trace.decisions.append(
+            DecisionEvent(pid=d["pid"], round=d["round"], view=d["view"], tip=d["tip"])
+        )
+    return trace
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write the trace to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))
+
+
+def _encode_meta(value):
+    if isinstance(value, Fraction):
+        return {"__fraction__": [value.numerator, value.denominator]}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_meta(v) for v in value]}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return {"__repr__": repr(value)}
+
+
+def _decode_meta(value):
+    if isinstance(value, dict):
+        if "__fraction__" in value:
+            num, den = value["__fraction__"]
+            return Fraction(num, den)
+        if "__tuple__" in value:
+            return tuple(_decode_meta(v) for v in value["__tuple__"])
+        if "__repr__" in value:
+            return value["__repr__"]
+    return value

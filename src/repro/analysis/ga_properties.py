@@ -1,0 +1,158 @@
+"""Checkers for the graded-agreement properties (Definition 4, Lemma 1).
+
+These operate on the result of *one* GA instance: the honest inputs and
+each honest receiver's :class:`~repro.protocols.graded_agreement.GAOutput`.
+They are used by the property-test suite (random instances under random
+adversaries) and by the E8 bench, which samples hundreds of instances
+and reports a property scoreboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+from repro.chain.block import BlockId
+from repro.chain.tree import BlockTree
+from repro.protocols.graded_agreement import GAOutput
+
+
+@dataclass
+class GAPropertyReport:
+    """Which GA properties held for one instance."""
+
+    graded_consistency: bool
+    integrity: bool
+    validity: bool
+    uniqueness: bool
+    bounded_divergence: bool
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.graded_consistency
+            and self.integrity
+            and self.validity
+            and self.uniqueness
+            and self.bounded_divergence
+        )
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_ga_properties(
+    tree: BlockTree,
+    honest_inputs: Mapping[int, BlockId | None],
+    honest_outputs: Mapping[int, GAOutput],
+) -> GAPropertyReport:
+    """Check the five Definition 4 properties on one GA instance.
+
+    ``honest_inputs`` maps the well-behaved processes that *voted* to
+    their input tips; ``honest_outputs`` maps the well-behaved processes
+    that computed an output to it.  (Under dynamic participation the two
+    sets can differ.)
+    """
+    failures: list[str] = []
+
+    # Graded consistency: grade-1 anywhere ⇒ grade ≥ 0 everywhere.
+    graded_consistency = True
+    for pid, output in honest_outputs.items():
+        for tip in output.grade1:
+            for qid, other in honest_outputs.items():
+                if tip not in other.grade1 and tip not in other.grade0:
+                    graded_consistency = False
+                    failures.append(
+                        f"graded-consistency: {pid} graded {_short(tip)} 1 but {qid} did not output it"
+                    )
+
+    # Integrity: any output log is extended by some honest input.
+    integrity = True
+    for pid, output in honest_outputs.items():
+        for tip in output.all_output():
+            if not any(tree.is_prefix(tip, inp) for inp in honest_inputs.values()):
+                integrity = False
+                failures.append(
+                    f"integrity: {pid} output {_short(tip)} but no honest input extends it"
+                )
+
+    # Validity: the longest common prefix of honest inputs gets grade 1.
+    validity = True
+    if honest_inputs:
+        lcp = tree.common_prefix(honest_inputs.values())
+        for pid, output in honest_outputs.items():
+            if not output.has_grade1(lcp):
+                validity = False
+                failures.append(f"validity: {pid} did not grade the honest LCP {_short(lcp)} 1")
+
+    # Uniqueness: a grade-1 output forbids conflicting grade-1 outputs anywhere.
+    uniqueness = True
+    grade1_tips = {tip for output in honest_outputs.values() for tip in output.grade1}
+    grade1_list = sorted(grade1_tips, key=lambda t: (tree.depth(t), t or ""))
+    for i, a in enumerate(grade1_list):
+        for b in grade1_list[i + 1:]:
+            if tree.conflict(a, b):
+                uniqueness = False
+                failures.append(f"uniqueness: grade-1 logs {_short(a)} and {_short(b)} conflict")
+
+    # Bounded divergence: each process outputs at most two pairwise-
+    # conflicting logs.
+    bounded_divergence = True
+    for pid, output in honest_outputs.items():
+        tips = output.all_output()
+        conflicting = _max_pairwise_conflicting(tree, tips)
+        if conflicting > 2:
+            bounded_divergence = False
+            failures.append(
+                f"bounded-divergence: {pid} output {conflicting} pairwise-conflicting logs"
+            )
+
+    return GAPropertyReport(
+        graded_consistency=graded_consistency,
+        integrity=integrity,
+        validity=validity,
+        uniqueness=uniqueness,
+        bounded_divergence=bounded_divergence,
+        failures=failures,
+    )
+
+
+def check_clique_validity(
+    tree: BlockTree,
+    lam: BlockId | None,
+    clique: frozenset[int],
+    honest_outputs: Mapping[int, GAOutput],
+) -> bool:
+    """Lemma 1's clique validity conclusion.
+
+    Given that the premises hold for clique ``H'`` and log ``Λ`` (the
+    caller constructs instances that satisfy them), every member of the
+    clique that produced an output must grade ``Λ`` 1.
+    """
+    return all(
+        honest_outputs[pid].has_grade1(lam) for pid in clique if pid in honest_outputs
+    )
+
+
+def _max_pairwise_conflicting(tree: BlockTree, tips) -> int:
+    """Size of the largest set of pairwise-conflicting logs among ``tips``.
+
+    Equivalent to the maximum antichain in the prefix order restricted
+    to ``tips``; because logs form a tree, the *maximal* (deepest)
+    elements of distinct branches are pairwise conflicting, so it
+    suffices to count branch representatives: tips with no descendant
+    also in ``tips``.
+    """
+    unique = list(dict.fromkeys(tips))
+    maximal = [
+        a
+        for a in unique
+        if not any(a != b and tree.is_prefix(a, b) for b in unique)
+    ]
+    # Maximal elements of a tree order are pairwise conflicting.
+    return len(maximal)
+
+
+def _short(tip: BlockId | None) -> str:
+    return tip[:8] if tip else "ε"

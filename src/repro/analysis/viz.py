@@ -1,0 +1,67 @@
+"""ASCII trace timelines: see a run at a glance.
+
+Renders a per-round strip chart of one execution: participation bars,
+synchrony/asynchrony marking, Byzantine counts, decision ticks, and the
+decided-depth curve.  Used by examples and handy in a REPL after
+loading a saved trace.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import decided_depth_timeline
+from repro.sleepy.trace import Trace
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def render_timeline(trace: Trace, width: int = 40, every: int = 1) -> str:
+    """A round-by-round strip chart of the trace.
+
+    Columns: round, network phase (``sync``/``ASYNC``), ``|O_r|`` with a
+    participation bar scaled to ``width``, Byzantine count, a ``*`` on
+    rounds where some process decided, and the deepest decided log.
+    ``every`` samples one row per that many rounds.
+    """
+    if every < 1:
+        raise ValueError("every must be positive")
+    depth_at = {point.round: point.depth for point in decided_depth_timeline(trace)}
+    decision_rounds = {d.round for d in trace.decisions}
+    peak = max((len(rec.awake) for rec in trace.rounds), default=1)
+
+    lines = [
+        f"{'round':>5}  {'net':5}  {'|O_r|':>5}  {'byz':>3}  {'dec':>3}  {'depth':>5}  participation"
+    ]
+    for rec in trace.rounds:
+        if rec.round % every:
+            continue
+        bar_cells = len(rec.awake) * width / max(peak, 1)
+        bar = _BAR * int(bar_cells)
+        if bar_cells - int(bar_cells) >= 0.5:
+            bar += _HALF
+        lines.append(
+            f"{rec.round:>5}  "
+            f"{'ASYNC' if rec.asynchronous else 'sync ':5}  "
+            f"{len(rec.awake):>5}  "
+            f"{len(rec.byzantine):>3}  "
+            f"{'*' if rec.round in decision_rounds else ' ':>3}  "
+            f"{depth_at.get(rec.round, 0):>5}  "
+            f"{bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_depth_curve(trace: Trace, height: int = 8) -> str:
+    """The decided-depth curve as a compact block-character sparkline."""
+    timeline = decided_depth_timeline(trace)
+    if not timeline:
+        return "(empty trace)"
+    peak = max(point.depth for point in timeline) or 1
+    levels = "▁▂▃▄▅▆▇█"
+    cells = []
+    for point in timeline:
+        index = round(point.depth / peak * (len(levels) - 1))
+        cells.append(levels[index])
+    return (
+        f"decided depth 0→{peak} over rounds 0→{timeline[-1].round}\n" + "".join(cells)
+    )

@@ -1,0 +1,35 @@
+"""Blocks, logs, and the block tree (paper Definition 1).
+
+This package implements the chain substrate that every protocol in the
+repository builds on:
+
+* :mod:`repro.chain.block` — immutable blocks and block identifiers.
+* :mod:`repro.chain.tree` — the block tree, prefix/ancestor queries, and
+  log materialisation.
+* :mod:`repro.chain.log` — the :class:`Log` value object (a finite
+  sequence of blocks) with the paper's prefix/compatible/conflict
+  relations.
+* :mod:`repro.chain.transactions` — transactions, the global validity
+  predicate, and a simple mempool.
+* :mod:`repro.chain.store` — an orphan-block buffer used by processes
+  whose view of the tree is built incrementally from received messages.
+"""
+
+from repro.chain.block import Block, BlockId, GENESIS_TIP, genesis_block
+from repro.chain.log import Log
+from repro.chain.store import BlockBuffer
+from repro.chain.transactions import Mempool, Transaction, is_valid_transaction
+from repro.chain.tree import BlockTree
+
+__all__ = [
+    "Block",
+    "BlockBuffer",
+    "BlockId",
+    "BlockTree",
+    "GENESIS_TIP",
+    "Log",
+    "Mempool",
+    "Transaction",
+    "genesis_block",
+    "is_valid_transaction",
+]

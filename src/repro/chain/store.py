@@ -1,0 +1,56 @@
+"""Orphan-block buffering for incrementally built local trees.
+
+Processes learn blocks from ``propose`` messages.  Under asynchrony (and
+in the gossip runtime) a block can arrive before its parent; a
+well-behaved process buffers such orphans and inserts them once the
+parent is known, mirroring how production blockchain clients handle
+out-of-order block arrival.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.chain.block import Block, BlockId
+from repro.chain.tree import BlockTree
+
+
+class BlockBuffer:
+    """Feeds received blocks into a :class:`BlockTree`, buffering orphans.
+
+    ``offer`` inserts a block if its parent is known, then cascades any
+    buffered descendants that become insertable.  Returns the list of
+    block ids actually inserted (empty if the block was buffered or
+    already known).
+    """
+
+    def __init__(self, tree: BlockTree) -> None:
+        self._tree = tree
+        self._orphans: dict[BlockId, Block] = {}
+        self._waiting_on: dict[BlockId, list[BlockId]] = defaultdict(list)
+
+    def __len__(self) -> int:
+        return len(self._orphans)
+
+    def offer(self, block: Block) -> list[BlockId]:
+        """Insert ``block`` (and any unblocked orphans) into the tree."""
+        if block.block_id in self._tree or block.block_id in self._orphans:
+            return []
+        if block.parent is not None and block.parent not in self._tree:
+            self._orphans[block.block_id] = block
+            self._waiting_on[block.parent].append(block.block_id)
+            return []
+        inserted = [self._tree.add(block)]
+        # Cascade: children of each newly inserted block may now be insertable.
+        frontier = [block.block_id]
+        while frontier:
+            parent_id = frontier.pop()
+            for child_id in self._waiting_on.pop(parent_id, ()):
+                child = self._orphans.pop(child_id)
+                inserted.append(self._tree.add(child))
+                frontier.append(child_id)
+        return inserted
+
+    def orphan_ids(self) -> frozenset[BlockId]:
+        """Ids of blocks still waiting for an ancestor."""
+        return frozenset(self._orphans)

@@ -1,0 +1,94 @@
+"""Transactions, the global validity predicate, and a mempool.
+
+The paper (Definition 2, footnote 3) assumes transactions are valid
+according to a global, efficiently computable predicate ``P`` known to
+all processes.  We instantiate ``P`` concretely: a transaction is valid
+iff its checksum equals the hash of its other fields.  This gives the
+test suite something real to exercise — invalid transactions must never
+appear in a delivered log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import hash_fields
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable transaction.
+
+    Build transactions with :meth:`Transaction.create`, which computes
+    the checksum that the global validity predicate
+    (:func:`is_valid_transaction`) verifies.
+    """
+
+    sender: int
+    nonce: int
+    payload: bytes
+    checksum: str
+
+    @staticmethod
+    def create(sender: int, nonce: int, payload: bytes = b"") -> "Transaction":
+        """Create a valid transaction (checksum computed from contents)."""
+        return Transaction(sender, nonce, payload, _checksum(sender, nonce, payload))
+
+    @property
+    def tx_id(self) -> str:
+        """Unique transaction identifier (valid txs: equals checksum)."""
+        return hash_fields("tx", self.sender, self.nonce, self.payload, self.checksum)
+
+
+def _checksum(sender: int, nonce: int, payload: bytes) -> str:
+    return hash_fields("tx-checksum", sender, nonce, payload)
+
+
+def is_valid_transaction(tx: Transaction) -> bool:
+    """The global validity predicate ``P`` (paper Definition 2, fn. 3)."""
+    return tx.checksum == _checksum(tx.sender, tx.nonce, tx.payload)
+
+
+class Mempool:
+    """A FIFO pool of pending transactions held by one process.
+
+    Invalid transactions are rejected on entry (well-behaved processes
+    never propose them).  ``take`` returns up to ``limit`` transactions
+    that are not in the supplied exclusion set, preserving arrival order
+    and leaving the pool unchanged — transactions are only removed once
+    observed on-chain via :meth:`mark_included`.
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[str, Transaction] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def add(self, tx: Transaction) -> bool:
+        """Add ``tx`` if valid and unseen.  Returns True if added."""
+        if not is_valid_transaction(tx):
+            return False
+        if tx.tx_id in self._pending:
+            return False
+        self._pending[tx.tx_id] = tx
+        return True
+
+    def take(self, limit: int, exclude: frozenset[str] = frozenset()) -> tuple[Transaction, ...]:
+        """Up to ``limit`` pending transactions whose ids are not in ``exclude``."""
+        selected: list[Transaction] = []
+        for tx_id, tx in self._pending.items():
+            if len(selected) >= limit:
+                break
+            if tx_id not in exclude:
+                selected.append(tx)
+        return tuple(selected)
+
+    def mark_included(self, tx_ids: frozenset[str]) -> None:
+        """Drop transactions that have been observed in a delivered log."""
+        for tx_id in tx_ids:
+            self._pending.pop(tx_id, None)
+
+    def pending_ids(self) -> frozenset[str]:
+        """Ids of all transactions currently pending."""
+        return frozenset(self._pending)

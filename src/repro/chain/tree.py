@@ -1,0 +1,195 @@
+"""The block tree: ancestry, prefixes, and vote accumulation support.
+
+Logs (paper Definition 1) form a tree under the prefix relation: a log is
+identified by its tip block, ``Λ ⪯ Λ'`` iff the tip of ``Λ`` is an
+ancestor of the tip of ``Λ'`` (the empty log, tip ``None``, is a prefix
+of everything).  The tree also memoises per-tip transaction membership,
+which proposers use to avoid re-including transactions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.chain.block import GENESIS_TIP, Block, BlockId
+from repro.chain.log import Log
+
+
+class UnknownBlockError(KeyError):
+    """Raised when a block id is not present in the tree."""
+
+
+class MissingParentError(ValueError):
+    """Raised when adding a block whose parent is not in the tree."""
+
+
+class BlockTree:
+    """A rooted tree of blocks with ancestry queries.
+
+    The (virtual) root is :data:`GENESIS_TIP` (``None``), representing
+    the empty log; every block whose ``parent`` is ``None`` is a child of
+    the virtual root.  Depth of the empty log is 0 and depth of a block
+    is ``1 + depth(parent)`` — i.e. the length of the log it identifies.
+    """
+
+    def __init__(self, blocks: Iterable[Block] = ()) -> None:
+        self._blocks: dict[BlockId, Block] = {}
+        self._depth: dict[BlockId | None, int] = {GENESIS_TIP: 0}
+        self._children: dict[BlockId | None, list[BlockId]] = {GENESIS_TIP: []}
+        self._payload_ids: dict[BlockId | None, frozenset[str]] = {GENESIS_TIP: frozenset()}
+        for block in blocks:
+            self.add(block)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, block: Block) -> BlockId:
+        """Insert ``block``; the parent must already be present.
+
+        Idempotent: re-adding a known block is a no-op.  Returns the
+        block id.  Raises :class:`MissingParentError` if the parent is
+        unknown (callers that receive blocks out of order should buffer
+        them with :class:`repro.chain.store.BlockBuffer`).
+        """
+        if block.block_id in self._blocks:
+            return block.block_id
+        if block.parent is not None and block.parent not in self._blocks:
+            raise MissingParentError(f"parent {block.parent[:8]} of {block.block_id[:8]} unknown")
+        self._blocks[block.block_id] = block
+        self._depth[block.block_id] = self._depth[block.parent] + 1
+        self._children[block.block_id] = []
+        self._children[block.parent].append(block.block_id)
+        self._payload_ids[block.block_id] = self._payload_ids[block.parent] | frozenset(
+            tx.tx_id for tx in block.payload
+        )
+        return block.block_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, tip: BlockId | None) -> bool:
+        return tip is GENESIS_TIP or tip in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, block_id: BlockId) -> Block:
+        """The block with id ``block_id``."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise UnknownBlockError(block_id) from None
+
+    def depth(self, tip: BlockId | None) -> int:
+        """Length of the log identified by ``tip`` (0 for the empty log)."""
+        try:
+            return self._depth[tip]
+        except KeyError:
+            raise UnknownBlockError(tip) from None
+
+    def parent(self, tip: BlockId) -> BlockId | None:
+        """Parent tip of a block (``None`` if the block is a root)."""
+        return self.get(tip).parent
+
+    def children(self, tip: BlockId | None) -> tuple[BlockId, ...]:
+        """Ids of the direct children of ``tip``."""
+        if tip not in self:
+            raise UnknownBlockError(tip)
+        return tuple(self._children[tip])
+
+    def tips(self) -> tuple[BlockId, ...]:
+        """All leaves of the tree (blocks without children)."""
+        return tuple(bid for bid in self._blocks if not self._children[bid])
+
+    def ancestor_at_depth(self, tip: BlockId | None, depth: int) -> BlockId | None:
+        """The prefix of ``tip``'s log that has length ``depth``."""
+        current_depth = self.depth(tip)
+        if depth < 0 or depth > current_depth:
+            raise ValueError(f"no ancestor of {tip!r} at depth {depth}")
+        node = tip
+        while current_depth > depth:
+            assert node is not None
+            node = self._blocks[node].parent
+            current_depth -= 1
+        return node
+
+    def is_prefix(self, a: BlockId | None, b: BlockId | None) -> bool:
+        """Whether log ``a`` is a prefix of log ``b`` (``Λ_a ⪯ Λ_b``).
+
+        Reflexive: every log is a prefix of itself; the empty log is a
+        prefix of every log.
+        """
+        depth_a = self.depth(a)
+        if depth_a > self.depth(b):
+            return False
+        return self.ancestor_at_depth(b, depth_a) == a
+
+    def compatible(self, a: BlockId | None, b: BlockId | None) -> bool:
+        """Whether one of the two logs is a prefix of the other."""
+        return self.is_prefix(a, b) or self.is_prefix(b, a)
+
+    def conflict(self, a: BlockId | None, b: BlockId | None) -> bool:
+        """Whether the two logs conflict (neither is a prefix of the other)."""
+        return not self.compatible(a, b)
+
+    def common_prefix(self, tips: Iterable[BlockId | None]) -> BlockId | None:
+        """Tip of the longest common prefix of the given logs.
+
+        With no tips, the empty log.
+        """
+        result: BlockId | None = GENESIS_TIP
+        first = True
+        for tip in tips:
+            if first:
+                result = tip
+                first = False
+                continue
+            depth = min(self.depth(result), self.depth(tip))
+            a = self.ancestor_at_depth(result, depth)
+            b = self.ancestor_at_depth(tip, depth)
+            while a != b:
+                assert a is not None and b is not None
+                a = self._blocks[a].parent
+                b = self._blocks[b].parent
+            result = a
+        return result
+
+    def path(self, tip: BlockId | None) -> tuple[BlockId, ...]:
+        """Block ids of the log identified by ``tip``, root first."""
+        ids: list[BlockId] = []
+        node = tip
+        while node is not None:
+            ids.append(node)
+            node = self._blocks[node].parent
+        ids.reverse()
+        return tuple(ids)
+
+    def log(self, tip: BlockId | None) -> Log:
+        """Materialise the log identified by ``tip``."""
+        return Log(tuple(self._blocks[bid] for bid in self.path(tip)))
+
+    def payload_ids(self, tip: BlockId | None) -> frozenset[str]:
+        """Ids of every transaction in the log identified by ``tip``."""
+        try:
+            return self._payload_ids[tip]
+        except KeyError:
+            raise UnknownBlockError(tip) from None
+
+    def longest(self, tips: Iterable[BlockId | None]) -> BlockId | None:
+        """The deepest tip among ``tips``; ties broken by tip id.
+
+        The deterministic tie-break keeps all well-behaved processes'
+        choices identical when the paper leaves the choice open (e.g. the
+        longest grade-0 output ``L_v`` in Algorithm 1).
+        """
+        best: BlockId | None = GENESIS_TIP
+        best_key = (-1, "")
+        found = False
+        for tip in tips:
+            key = (self.depth(tip), tip if tip is not None else "")
+            if key > best_key:
+                best, best_key = tip, key
+            found = True
+        if not found:
+            raise ValueError("longest() of no tips")
+        return best

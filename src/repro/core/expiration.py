@@ -1,0 +1,112 @@
+"""Latest-unexpired-message tracking — the paper's expiration mechanism.
+
+The paper's core idea (§2.1 "Message structure", §3.3): equip every vote
+with an expiration period of η rounds and have the protocol's behaviour
+at round ``r`` depend only on the *latest* unexpired vote of each
+process — the latest among those sent in rounds ``[r − 1 − η, r − 1]``
+(equivalently: a GA instance started in round ``g`` tallies the latest
+votes from rounds ``[g − η, g]``).
+
+:class:`LatestVoteStore` implements exactly this bookkeeping:
+
+* one logical vote per (sender, round); a sender with two *different*
+  votes in the same round is an equivocator for that round;
+* :meth:`latest` returns, per sender, the vote from their most recent
+  round inside the window — and **discards** senders whose latest
+  in-window round is equivocating (the paper discards equivocating
+  latest messages; we do not fall back to older rounds, so an
+  equivocator contributes nothing — the conservative reading of
+  Figures 2/3's "two different vote messages from the same process are
+  ignored");
+* votes tagged with rounds above the window (a Byzantine sender may
+  post-date its tags) are simply not visible until the window reaches
+  them, so post-dating grants no extra power.
+
+With window width 0 (``lo == hi == g``) the store reproduces the
+original protocol's behaviour — η = 0 *is* the unmodified MMR vote
+rule, which the equivalence tests in ``tests/integration`` exploit.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import BlockId
+
+
+class LatestVoteStore:
+    """Per-sender vote history with expiration-window queries."""
+
+    def __init__(self) -> None:
+        # sender -> round -> tip of the unique vote, or EQUIVOCATED.
+        self._by_sender: dict[int, dict[int, object]] = {}
+
+    _EQUIVOCATED = object()
+
+    def __len__(self) -> int:
+        return sum(len(rounds) for rounds in self._by_sender.values())
+
+    def record(self, sender: int, round_number: int, tip: BlockId | None) -> None:
+        """Record one vote.  A second, different tip marks an equivocation."""
+        rounds = self._by_sender.setdefault(sender, {})
+        existing = rounds.get(round_number, self._MISSING)
+        if existing is self._MISSING:
+            rounds[round_number] = tip
+        elif existing is not self._EQUIVOCATED and existing != tip:
+            rounds[round_number] = self._EQUIVOCATED
+
+    _MISSING = object()
+
+    def latest(self, window_lo: int, window_hi: int) -> dict[int, BlockId | None]:
+        """Latest unexpired vote per sender over rounds ``[window_lo, window_hi]``.
+
+        Senders whose latest in-window vote is an equivocation are
+        excluded entirely.
+        """
+        if window_lo > window_hi:
+            return {}
+        result: dict[int, BlockId | None] = {}
+        for sender, rounds in self._by_sender.items():
+            best_round = -1
+            for r in rounds:
+                if window_lo <= r <= window_hi and r > best_round:
+                    best_round = r
+            if best_round < 0:
+                continue
+            tip = rounds[best_round]
+            if tip is self._EQUIVOCATED:
+                continue
+            result[sender] = tip  # type: ignore[assignment]
+        return result
+
+    def rounds_of(self, sender: int) -> tuple[int, ...]:
+        """Rounds in which ``sender``'s votes were recorded (sorted)."""
+        return tuple(sorted(self._by_sender.get(sender, ())))
+
+    def equivocators(self) -> frozenset[int]:
+        """Senders caught equivocating in any (unpruned) round.
+
+        Equivocation is provable misbehaviour — two validly signed,
+        conflicting votes for the same round — so this set is the
+        accountability output a deployment would feed into slashing.
+        """
+        return frozenset(
+            sender
+            for sender, rounds in self._by_sender.items()
+            if any(tip is self._EQUIVOCATED for tip in rounds.values())
+        )
+
+    def prune(self, before_round: int) -> int:
+        """Drop all votes from rounds ``< before_round``; returns how many.
+
+        Long-running processes call this with ``r − 1 − η`` so memory
+        stays proportional to the expiration window.
+        """
+        dropped = 0
+        for sender in list(self._by_sender):
+            rounds = self._by_sender[sender]
+            stale = [r for r in rounds if r < before_round]
+            for r in stale:
+                del rounds[r]
+            dropped += len(stale)
+            if not rounds:
+                del self._by_sender[sender]
+        return dropped

@@ -1,0 +1,170 @@
+"""The extended graded agreement with an initial vote set (paper Figure 3).
+
+A one-shot primitive: each process starts with an initial set ``M₀`` of
+vote messages from a set of processes ``P₀`` (in the modified
+Algorithm 1, its latest unexpired votes from rounds ``[g − η, g)``),
+multicasts its own vote in round ``g``, and at the end of the round
+tallies ``M_r`` — the round-``g`` votes plus the ``M₀`` votes of
+processes that did *not* vote in round ``g``:
+
+* equivocations are discarded in either set;
+* an ``M₀`` vote is discarded when its sender also voted in round ``g``
+  (fresh votes take precedence);
+* grading is the Figure 2 tally over ``M_r``.
+
+Lemma 1: under ``|H_g| > 2/3·|O_g ∪ P₀|`` this satisfies all five
+original GA properties *plus* **clique validity**, which holds even in
+asynchronous rounds and drives the asynchrony-resilience proof
+(Theorem 2).  The test suite checks all six properties directly on this
+class; the protocol integration is exercised through
+:class:`repro.core.resilient_tob.ResilientTOBProcess`, whose per-round
+GA instances are exactly instances of this primitive (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.chain.block import BlockId
+from repro.chain.tree import BlockTree
+from repro.crypto.signatures import SecretKey
+from repro.protocols.graded_agreement import DEFAULT_BETA, GAOutput, tally_votes
+from repro.sleepy.messages import CachedVerifier, Message, VoteMessage, make_vote
+from repro.sleepy.process import Process
+
+_EQUIVOCATED = object()
+
+
+@dataclass(frozen=True)
+class InitialVote:
+    """One vote in ``M₀``: ``sender`` voted ``tip`` in some round ``< g``."""
+
+    sender: int
+    round: int
+    tip: BlockId | None
+
+
+class ExtendedGAInstance:
+    """The receive-phase bookkeeping of Figure 3 (transport-agnostic).
+
+    Feed it the initial set at construction and round-``g`` votes as
+    they arrive; read :meth:`output` at the end of the round.
+    """
+
+    def __init__(
+        self,
+        tree: BlockTree,
+        initial_votes: Iterable[InitialVote] = (),
+        beta: Fraction = DEFAULT_BETA,
+    ) -> None:
+        self._tree = tree
+        self._beta = beta
+        self._m0: dict[int, object] = {}
+        self._m0_rounds: dict[int, int] = {}
+        for vote in initial_votes:
+            self._record(self._m0, vote.sender, vote.tip, self._m0_rounds, vote.round)
+        self._fresh: dict[int, object] = {}
+
+    @staticmethod
+    def _record(
+        table: dict[int, object],
+        sender: int,
+        tip: BlockId | None,
+        rounds: dict[int, int] | None = None,
+        round_number: int | None = None,
+    ) -> None:
+        if rounds is not None and round_number is not None:
+            # Within M₀ only each sender's *latest* message matters;
+            # older rounds are superseded, same-round disagreement is an
+            # equivocation.
+            known = rounds.get(sender)
+            if known is not None and round_number < known:
+                return
+            if known is not None and round_number > known:
+                table.pop(sender, None)
+            rounds[sender] = round_number
+        existing = table.get(sender, _MISSING)
+        if existing is _MISSING:
+            table[sender] = tip
+        elif existing is not _EQUIVOCATED and existing != tip:
+            table[sender] = _EQUIVOCATED
+
+    @property
+    def p0(self) -> frozenset[int]:
+        """``P₀``: the processes with a message in the initial set."""
+        return frozenset(self._m0)
+
+    def add_round_vote(self, sender: int, tip: BlockId | None) -> None:
+        """Record a vote received in the GA round itself."""
+        self._record(self._fresh, sender, tip)
+
+    def tallied_votes(self) -> dict[int, BlockId | None]:
+        """``M_r``: one vote per process after precedence and discards."""
+        merged: dict[int, BlockId | None] = {}
+        for sender, tip in self._m0.items():
+            if sender in self._fresh:
+                continue  # fresh vote (or fresh equivocation) supersedes M₀
+            if tip is _EQUIVOCATED:
+                continue
+            merged[sender] = tip  # type: ignore[assignment]
+        for sender, tip in self._fresh.items():
+            if tip is _EQUIVOCATED:
+                continue
+            merged[sender] = tip  # type: ignore[assignment]
+        return {pid: tip for pid, tip in merged.items() if tip in self._tree}
+
+    def output(self) -> GAOutput:
+        """Grade the tallied votes (Figure 2 thresholds)."""
+        return tally_votes(self._tree, self.tallied_votes(), self._beta)
+
+
+class ExtendedGAProcess(Process):
+    """A one-shot participant of Figure 3, driven by the round simulator.
+
+    Awake processes vote for their input in round ``ga_round``; every
+    receiver (including processes that were asleep in the send phase —
+    the two-phase awakeness of §2.1) tallies what it got on top of its
+    initial set.  The property-test suite runs many of these under
+    random sleep schedules, adversaries, and asynchrony to check
+    Lemma 1.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        key: SecretKey,
+        verifier: CachedVerifier,
+        tree: BlockTree,
+        input_tip: BlockId | None,
+        initial_votes: Iterable[InitialVote] = (),
+        ga_round: int = 0,
+        beta: Fraction = DEFAULT_BETA,
+    ) -> None:
+        super().__init__(pid)
+        self._key = key
+        self._verifier = verifier
+        self._tree = tree
+        self._input_tip = input_tip
+        self._ga_round = ga_round
+        self.instance = ExtendedGAInstance(tree, initial_votes, beta)
+        self.output: GAOutput | None = None
+
+    def send(self, round_number: int) -> Sequence[Message]:
+        if round_number != self._ga_round:
+            return ()
+        return [make_vote(self._verifier.registry, self._key, round_number, self._input_tip)]
+
+    def receive(self, round_number: int, messages: Sequence[Message]) -> None:
+        for message in messages:
+            if (
+                isinstance(message, VoteMessage)
+                and message.round == self._ga_round
+                and self._verifier.verify(message)
+            ):
+                self.instance.add_round_vote(message.sender, message.tip)
+        self.output = self.instance.output()
+
+
+_MISSING = object()

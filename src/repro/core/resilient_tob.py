@@ -1,0 +1,89 @@
+"""The asynchrony-resilient TOB — modified Algorithm 1 (paper §3.3).
+
+The single modification the paper prescribes: every GA instance tallies
+the **latest unexpired** votes — for the instance started in round
+``g``, the latest vote of each process among rounds ``[g − η, g]`` —
+instead of only round-``g`` votes.  Everything else (views, proposals,
+decision rule) is inherited unchanged from
+:class:`repro.protocols.tob_base.SleepyTOBProcess`.
+
+Guarantees (under the paper's assumptions, validated per-run by
+:mod:`repro.analysis.assumptions`):
+
+* Theorem 1 — still a Byzantine TOB (safety + liveness under synchrony);
+* Theorem 2 — π-asynchrony-resilient for every π < η;
+* Theorem 3 — heals one round after synchrony resumes.
+
+``eta = 0`` reproduces the original MMR protocol exactly (window
+``[g, g]``); the integration suite asserts trace-for-trace equality.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.chain.transactions import Mempool
+from repro.crypto.signatures import SecretKey
+from repro.protocols.graded_agreement import DEFAULT_BETA
+from repro.protocols.tob_base import DEFAULT_BLOCK_CAPACITY, SleepyTOBProcess
+from repro.sleepy.messages import CachedVerifier
+from repro.sleepy.simulator import ProcessFactory
+
+
+class ResilientTOBProcess(SleepyTOBProcess):
+    """Algorithm 1 modified to use latest unexpired messages."""
+
+    def __init__(
+        self,
+        pid: int,
+        key: SecretKey,
+        verifier: CachedVerifier,
+        eta: int,
+        beta: Fraction = DEFAULT_BETA,
+        mempool: Mempool | None = None,
+        block_capacity: int = DEFAULT_BLOCK_CAPACITY,
+        record_telemetry: bool = False,
+    ) -> None:
+        if eta < 0:
+            raise ValueError("expiration period η must be non-negative")
+        super().__init__(
+            pid,
+            key,
+            verifier,
+            beta=beta,
+            mempool=mempool,
+            block_capacity=block_capacity,
+            record_telemetry=record_telemetry,
+        )
+        self.eta = eta
+
+    def vote_window(self, ga_round: int) -> tuple[int, int]:
+        return (max(0, ga_round - self.eta), ga_round)
+
+    def receive(self, round_number, messages):  # noqa: D102 - inherited docs
+        super().receive(round_number, messages)
+        # Everything below the reach of any future window is expired.
+        self._votes.prune(round_number - self.eta)
+
+
+def resilient_factory(
+    eta: int,
+    beta: Fraction = DEFAULT_BETA,
+    block_capacity: int = DEFAULT_BLOCK_CAPACITY,
+    record_telemetry: bool = False,
+) -> ProcessFactory:
+    """A :class:`~repro.sleepy.simulator.ProcessFactory` for the modified protocol."""
+
+    def factory(pid: int, key: SecretKey, verifier: CachedVerifier) -> ResilientTOBProcess:
+        return ResilientTOBProcess(
+            pid,
+            key,
+            verifier,
+            eta=eta,
+            beta=beta,
+            mempool=Mempool(),
+            block_capacity=block_capacity,
+            record_telemetry=record_telemetry,
+        )
+
+    return factory

@@ -1,0 +1,71 @@
+"""Canonical hashing helpers shared by the whole repository.
+
+All identifiers (block ids, message ids, signatures, VRF outputs) are
+derived from SHA-256 over a *canonical encoding* of heterogeneous fields.
+The encoding is injective: every field is length-prefixed and tagged with
+its type, so distinct field tuples can never produce the same byte
+string.  This matters because the simulated signatures and VRFs inherit
+their unforgeability argument from the injectivity of this encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_TAG_NONE = b"N"
+_TAG_INT = b"I"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_TUPLE = b"T"
+
+Encodable = None | int | str | bytes | tuple
+
+
+def encode_fields(*fields: Encodable) -> bytes:
+    """Return the canonical, injective byte encoding of ``fields``.
+
+    Supports ``None``, ``int`` (arbitrary size, signed), ``str``,
+    ``bytes`` and arbitrarily nested tuples of these.
+    """
+    out = bytearray()
+    out += _TAG_TUPLE
+    out += len(fields).to_bytes(4, "big")
+    for field in fields:
+        out += _encode_one(field)
+    return bytes(out)
+
+
+def _encode_one(field: Encodable) -> bytes:
+    if field is None:
+        return _TAG_NONE
+    if isinstance(field, bool):
+        # Reject silently-int-like bools: they are almost always a bug in
+        # a caller that meant to encode a real field.
+        raise TypeError("bool is not encodable; encode an explicit int or str")
+    if isinstance(field, int):
+        length = max(1, (field.bit_length() + 8) // 8)
+        payload = field.to_bytes(length, "big", signed=True)
+        return _TAG_INT + len(payload).to_bytes(4, "big") + payload
+    if isinstance(field, str):
+        payload = field.encode("utf-8")
+        return _TAG_STR + len(payload).to_bytes(4, "big") + payload
+    if isinstance(field, bytes):
+        return _TAG_BYTES + len(field).to_bytes(4, "big") + field
+    if isinstance(field, tuple):
+        inner = bytearray()
+        inner += _TAG_TUPLE
+        inner += len(field).to_bytes(4, "big")
+        for item in field:
+            inner += _encode_one(item)
+        return bytes(inner)
+    raise TypeError(f"unsupported field type for canonical encoding: {type(field)!r}")
+
+
+def sha256_hex(data: bytes) -> str:
+    """SHA-256 of ``data`` as a 64-character hex string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_fields(*fields: Encodable) -> str:
+    """Hash a tuple of fields under the canonical encoding."""
+    return sha256_hex(encode_fields(*fields))

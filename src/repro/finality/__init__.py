@@ -1,0 +1,32 @@
+"""Ebb-and-flow finality overlay (the paper's §3 deployment context).
+
+The paper's mechanism hardens the *dynamically available* half of an
+ebb-and-flow pair [16]; this package supplies the other half so the
+full design can be studied:
+
+* :mod:`repro.finality.gadget` — static-quorum finality accounting
+  over signed acknowledgements (finalised prefixes never revert with
+  < n/3 Byzantine processes, under any asynchrony);
+* :mod:`repro.finality.process` — a wrapper that runs any TOB process
+  and the gadget side by side, exposing the available tip and the
+  finalised tip.
+
+``benchmarks/bench_finality.py`` measures the §3 claim: with the
+η-expiration inner protocol, the user-facing available chain stops
+reorging under asynchrony — finality alone never protected it.
+"""
+
+from repro.finality.gadget import (
+    DEFAULT_FINALITY_QUORUM,
+    FinalityGadget,
+    FinalizationEvent,
+)
+from repro.finality.process import EbbAndFlowProcess, ebb_and_flow_factory
+
+__all__ = [
+    "DEFAULT_FINALITY_QUORUM",
+    "EbbAndFlowProcess",
+    "FinalityGadget",
+    "FinalizationEvent",
+    "ebb_and_flow_factory",
+]

@@ -1,0 +1,132 @@
+"""The finality gadget: a partially-synchronous overlay on the TOB.
+
+The paper situates its contribution inside the ebb-and-flow design
+(§3, citing Neu–Tas–Tse [16] and D'Amato–Zanolini [5]): a dynamically
+available chain paired with a partially synchronous *finality* layer.
+The available chain always grows; the finality layer certifies a prefix
+once a fixed quorum of **all** ``n`` processes — not just the awake
+ones — acknowledges it.  Finality therefore stalls when participation
+drops below the quorum, but what it certifies can never be reverted as
+long as fewer than ``n/3`` processes are Byzantine, regardless of
+asynchrony.
+
+This module implements the accounting half of that design:
+
+* every process periodically multicasts a signed acknowledgement of its
+  currently delivered log;
+* :class:`FinalityGadget` tracks the latest acknowledgement of each
+  process and finalises the deepest log that more than 2/3 of all
+  processes acknowledge (by extension), monotonically.
+
+The paper's §3 point — reproduced by ``benchmarks/bench_finality.py`` —
+is that the *available* component's behaviour under asynchrony is what
+the expiration mechanism improves: with an MMR inner protocol the
+available chain visibly reorgs during an attack (finality holds but the
+user-facing chain rewrites history); with the η-expiration inner
+protocol neither layer moves an inch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.chain.block import GENESIS_TIP, BlockId
+from repro.chain.tree import BlockTree
+from repro.core.expiration import LatestVoteStore
+
+#: Classic BFT finality quorum: strictly more than 2/3 of all processes.
+DEFAULT_FINALITY_QUORUM = Fraction(2, 3)
+
+
+@dataclass(frozen=True)
+class FinalizationEvent:
+    """The finalised prefix advanced to ``tip`` at ``round``."""
+
+    round: int
+    tip: BlockId | None
+    depth: int
+    acks: int
+
+
+class FinalityGadget:
+    """Quorum accounting over the latest acknowledgement per process.
+
+    The gadget is deliberately *static-quorum*: the denominator is the
+    total number of processes ``n``, because finality must not be
+    reachable by a lonely awake minority (that is the whole
+    availability/finality dilemma).  Acknowledgements never expire —
+    the finality layer is the partially-synchronous half of the pair.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        tree: BlockTree,
+        quorum: Fraction = DEFAULT_FINALITY_QUORUM,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("need at least one process")
+        if not Fraction(1, 2) <= quorum < 1:
+            raise ValueError("finality quorum must be in [1/2, 1)")
+        self.n = n
+        self._tree = tree
+        self._quorum = quorum
+        self._acks = LatestVoteStore()
+        self.finalized_tip: BlockId | None = GENESIS_TIP
+        self.events: list[FinalizationEvent] = []
+
+    def record_ack(self, sender: int, round_number: int, tip: BlockId | None) -> None:
+        """Ingest one acknowledgement (equivocations are discarded)."""
+        self._acks.record(sender, round_number, tip)
+
+    def ack_count_for(self, tip: BlockId | None, up_to_round: int) -> int:
+        """Processes whose latest ack (≤ ``up_to_round``) extends ``tip``."""
+        latest = self._acks.latest(0, up_to_round)
+        return sum(
+            1
+            for acked in latest.values()
+            if acked in self._tree and self._tree.is_prefix(tip, acked)
+        )
+
+    def advance(self, round_number: int) -> FinalizationEvent | None:
+        """Finalise the deepest quorum-acknowledged extension, if any.
+
+        Returns the finalisation event when the finalised prefix grew.
+        Candidates are restricted to logs extending the current
+        finalised tip: with an honest-majority quorum two conflicting
+        logs can never both gather it, and monotonicity makes the
+        restriction sound rather than merely convenient.
+        """
+        latest = self._acks.latest(0, round_number)
+        acked = [tip for tip in latest.values() if tip in self._tree]
+        num, den = self._quorum.numerator, self._quorum.denominator
+        best: BlockId | None = None
+        best_depth = self._tree.depth(self.finalized_tip)
+        for candidate in set(acked):
+            # Ack-extension counts only grow walking toward the root, so
+            # the first quorum hit from the tip downward is the deepest
+            # finalisable prefix along this path.
+            node: BlockId | None = candidate
+            while node is not GENESIS_TIP:
+                depth = self._tree.depth(node)
+                if depth <= best_depth:
+                    break  # cannot improve along this path
+                if self._tree.is_prefix(self.finalized_tip, node):
+                    count = sum(1 for tip in acked if self._tree.is_prefix(node, tip))
+                    if count * den > num * self.n:
+                        best, best_depth = node, depth
+                        break
+                assert node is not None
+                node = self._tree.parent(node)
+        if best is None:
+            return None
+        event = FinalizationEvent(
+            round=round_number,
+            tip=best,
+            depth=self._tree.depth(best),
+            acks=self.ack_count_for(best, round_number),
+        )
+        self.finalized_tip = best
+        self.events.append(event)
+        return event

@@ -1,0 +1,116 @@
+"""The ebb-and-flow process: available chain + finality overlay in one.
+
+Wraps any :class:`~repro.protocols.tob_base.SleepyTOBProcess` (original
+MMR or the η-expiration modification).  The wrapper is transparent to
+the round simulator: it forwards the inner protocol's messages and
+decisions, adds one signed acknowledgement of the inner delivered log
+per round, routes incoming acks into its :class:`FinalityGadget`, and
+advances the finalised prefix at every receive phase.
+
+Exposed state: ``delivered_tip`` (the available chain — may move fast
+and, for an unprotected inner protocol under attack, may reorg) and
+``finalized_tip`` (the certified prefix — may lag, never reverts).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from fractions import Fraction
+
+from repro.chain.block import BlockId
+from repro.finality.gadget import DEFAULT_FINALITY_QUORUM, FinalityGadget, FinalizationEvent
+from repro.protocols.tob_base import SleepyTOBProcess
+from repro.sleepy.messages import AckMessage, Message, make_ack
+from repro.sleepy.process import Process
+from repro.sleepy.trace import DecisionEvent
+
+
+class EbbAndFlowProcess(Process):
+    """A TOB process paired with the finality overlay."""
+
+    def __init__(
+        self,
+        inner: SleepyTOBProcess,
+        key,
+        verifier,
+        n: int,
+        quorum: Fraction = DEFAULT_FINALITY_QUORUM,
+    ) -> None:
+        super().__init__(inner.pid)
+        self.inner = inner
+        self._key = key
+        self._verifier = verifier
+        self.gadget = FinalityGadget(n, inner.tree, quorum=quorum)
+
+    # ------------------------------------------------------------------
+    # Views over the two chains
+    # ------------------------------------------------------------------
+    @property
+    def delivered_tip(self) -> BlockId | None:
+        """Tip of the available chain (the inner protocol's deliveries)."""
+        return self.inner.delivered_tip
+
+    @property
+    def finalized_tip(self) -> BlockId | None:
+        """Tip of the finalised prefix (never reverts)."""
+        return self.gadget.finalized_tip
+
+    @property
+    def finalizations(self) -> list[FinalizationEvent]:
+        """All finalisation advances, in round order."""
+        return self.gadget.events
+
+    # ------------------------------------------------------------------
+    # Process interface
+    # ------------------------------------------------------------------
+    def send(self, round_number: int) -> Sequence[Message]:
+        messages = list(self.inner.send(round_number))
+        messages.append(
+            make_ack(
+                self._verifier.registry, self._key, round_number, self.inner.delivered_tip
+            )
+        )
+        return messages
+
+    def receive(self, round_number: int, messages: Sequence[Message]) -> None:
+        inner_batch = []
+        for message in messages:
+            if isinstance(message, AckMessage):
+                if self._verifier.verify(message):
+                    self.gadget.record_ack(message.sender, message.round, message.tip)
+            else:
+                inner_batch.append(message)
+        if inner_batch:
+            self.inner.receive(round_number, inner_batch)
+        self.gadget.advance(round_number)
+
+    def pop_decisions(self) -> list[DecisionEvent]:
+        """Forward the inner protocol's decisions to the simulator."""
+        return self.inner.pop_decisions()
+
+
+def ebb_and_flow_factory(
+    protocol: str,
+    eta: int,
+    n: int,
+    beta: Fraction | None = None,
+    quorum: Fraction = DEFAULT_FINALITY_QUORUM,
+):
+    """A :class:`~repro.sleepy.simulator.ProcessFactory` for wrapped processes."""
+    from repro.chain.transactions import Mempool
+    from repro.protocols.graded_agreement import DEFAULT_BETA
+    from repro.protocols.mmr_tob import MMRProcess
+    from repro.core.resilient_tob import ResilientTOBProcess
+
+    beta = beta if beta is not None else DEFAULT_BETA
+
+    def factory(pid, key, verifier):
+        if protocol == "mmr":
+            inner = MMRProcess(pid, key, verifier, beta=beta, mempool=Mempool())
+        elif protocol == "resilient":
+            inner = ResilientTOBProcess(pid, key, verifier, eta=eta, beta=beta, mempool=Mempool())
+        else:
+            raise ValueError(f"unknown protocol {protocol!r}")
+        return EbbAndFlowProcess(inner, key, verifier, n=n, quorum=quorum)
+
+    return factory

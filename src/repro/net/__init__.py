@@ -1,0 +1,25 @@
+"""Asyncio network substrate: transport with latency surges, gossip.
+
+The paper's footnote 2 observes that in deployed blockchain networks,
+messages entering the peer-to-peer layer are disseminated to everyone
+even if the sender goes offline, and survive transient asynchrony.
+This package makes that substrate concrete:
+
+* :mod:`repro.net.transport` — point-to-point links with seeded
+  latencies and configurable *surge windows* (latency × factor), the
+  physical realisation of an asynchronous period.
+* :mod:`repro.net.gossip` — a random regular overlay flooding
+  first-seen messages; delivery is at-least-once, exactly-once per
+  message id at each node.
+"""
+
+from repro.net.gossip import GossipNetwork, GossipNode, regular_topology
+from repro.net.transport import SimTransport, SurgeWindow
+
+__all__ = [
+    "GossipNetwork",
+    "GossipNode",
+    "SimTransport",
+    "SurgeWindow",
+    "regular_topology",
+]

@@ -1,0 +1,116 @@
+"""Gossip dissemination over the asyncio transport.
+
+The paper assumes "an underlying peer-to-peer dissemination protocol
+(e.g., a gossip protocol)" (§2.1) with two crucial properties exercised
+here: messages reach everyone even if the original sender goes to sleep
+mid-dissemination, and messages survive asynchronous periods (they are
+delayed, not lost).
+
+Topology is a random k-regular overlay (complete graph for tiny n);
+every node forwards each first-seen message to all its neighbours, which
+floods any connected graph in ``diameter`` hops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections.abc import Callable
+
+import networkx as nx
+
+from repro.net.transport import SimTransport
+from repro.sleepy.messages import Message
+
+#: Called on each node's behalf when a new message first reaches it.
+DeliveryHandler = Callable[[int, Message], None]
+
+
+def regular_topology(n: int, degree: int, seed: int = 0) -> dict[int, tuple[int, ...]]:
+    """A connected random ``degree``-regular overlay (complete if small).
+
+    Falls back to the complete graph when a regular graph of the
+    requested degree does not exist or would be smaller than useful.
+    """
+    if n <= degree + 1 or (n * degree) % 2 == 1:
+        return {pid: tuple(q for q in range(n) if q != pid) for pid in range(n)}
+    rng = random.Random(seed)
+    for attempt in range(32):
+        graph = nx.random_regular_graph(degree, n, seed=rng.randrange(1 << 30))
+        if nx.is_connected(graph):
+            return {pid: tuple(sorted(graph.neighbors(pid))) for pid in range(n)}
+    raise RuntimeError("could not sample a connected regular overlay")
+
+
+class GossipNode:
+    """One node's view of the gossip overlay."""
+
+    def __init__(
+        self,
+        pid: int,
+        transport: SimTransport,
+        neighbors: tuple[int, ...],
+        on_deliver: DeliveryHandler,
+    ) -> None:
+        self.pid = pid
+        self._transport = transport
+        self._neighbors = neighbors
+        self._on_deliver = on_deliver
+        self._seen: set[str] = set()
+        self._pump_task: asyncio.Task | None = None
+
+    def publish(self, message: Message) -> None:
+        """Originate a message: deliver locally and push to neighbours."""
+        self._ingest(None, message)
+
+    def start(self) -> None:
+        """Begin pumping incoming transport messages (call inside the loop)."""
+        self._pump_task = asyncio.get_running_loop().create_task(self._pump())
+
+    async def stop(self) -> None:
+        """Cancel the pump task and wait for it to unwind."""
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+
+    async def _pump(self) -> None:
+        while True:
+            src, payload = await self._transport.recv(self.pid)
+            if isinstance(payload, Message):
+                self._ingest(src, payload)
+
+    def _ingest(self, src: int | None, message: Message) -> None:
+        if message.message_id in self._seen:
+            return
+        self._seen.add(message.message_id)
+        self._on_deliver(self.pid, message)
+        for neighbor in self._neighbors:
+            if neighbor != src:
+                self._transport.send(self.pid, neighbor, message)
+
+
+class GossipNetwork:
+    """All gossip nodes of one deployment."""
+
+    def __init__(
+        self,
+        transport: SimTransport,
+        topology: dict[int, tuple[int, ...]],
+        on_deliver: DeliveryHandler,
+    ) -> None:
+        self.nodes = {
+            pid: GossipNode(pid, transport, neighbors, on_deliver)
+            for pid, neighbors in topology.items()
+        }
+
+    def start(self) -> None:
+        """Start every node's pump."""
+        for node in self.nodes.values():
+            node.start()
+
+    async def stop(self) -> None:
+        """Stop every node's pump."""
+        await asyncio.gather(*(node.stop() for node in self.nodes.values()))

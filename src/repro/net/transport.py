@@ -1,0 +1,88 @@
+"""In-memory asyncio transport with per-link latencies and delay surges.
+
+The round simulator in :mod:`repro.sleepy` gives the adversary *logical*
+control over delivery; this transport models the physical phenomenon
+behind it — latency.  Each link has a seeded base latency plus jitter,
+and the transport can be configured with **surge windows** during which
+latencies are multiplied (a real-world asynchronous period: the network
+is slow, not lossy).  Messages are never dropped, matching the paper's
+assumption that gossip survives transient asynchrony.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SurgeWindow:
+    """Latency multiplier ``factor`` applied during ``[start_s, end_s)``.
+
+    Times are seconds since :meth:`SimTransport.start`.
+    """
+
+    start_s: float
+    end_s: float
+    factor: float
+
+
+class SimTransport:
+    """Point-to-point message fabric for one deployment run."""
+
+    def __init__(
+        self,
+        n: int,
+        base_latency_s: float = 0.002,
+        jitter_s: float = 0.001,
+        seed: int = 0,
+        surges: tuple[SurgeWindow, ...] = (),
+    ) -> None:
+        if n <= 0:
+            raise ValueError("need at least one node")
+        if base_latency_s < 0 or jitter_s < 0:
+            raise ValueError("latencies must be non-negative")
+        self.n = n
+        self._base = base_latency_s
+        self._jitter = jitter_s
+        self._rng = random.Random(seed)
+        self._surges = surges
+        self._queues: dict[int, asyncio.Queue] = {}
+        self._origin: float | None = None
+        self.sent_count = 0
+
+    def start(self) -> None:
+        """Anchor the clock and create queues; call once inside the loop."""
+        self._queues = {pid: asyncio.Queue() for pid in range(self.n)}
+        self._origin = asyncio.get_running_loop().time()
+
+    def now(self) -> float:
+        """Seconds since :meth:`start`."""
+        if self._origin is None:
+            raise RuntimeError("transport not started")
+        return asyncio.get_running_loop().time() - self._origin
+
+    def latency(self, at_s: float) -> float:
+        """Sampled one-way latency for a message sent at ``at_s``."""
+        delay = self._base + self._rng.random() * self._jitter
+        for surge in self._surges:
+            if surge.start_s <= at_s < surge.end_s:
+                delay *= surge.factor
+        return delay
+
+    def send(self, src: int, dst: int, payload: object) -> None:
+        """Send ``payload`` to ``dst``; it arrives after the link latency."""
+        if self._origin is None:
+            raise RuntimeError("transport not started")
+        delay = self.latency(self.now())
+        queue = self._queues[dst]
+        loop = asyncio.get_running_loop()
+        loop.call_later(delay, queue.put_nowait, (src, payload))
+        self.sent_count += 1
+
+    async def recv(self, pid: int) -> tuple[int, object]:
+        """Wait for the next ``(source, payload)`` addressed to ``pid``."""
+        if self._origin is None:
+            raise RuntimeError("transport not started")
+        return await self._queues[pid].get()

@@ -1,0 +1,178 @@
+"""Graded agreement of Malkhi, Momose, and Ren (paper Figure 2).
+
+One GA instance spans one round: in the send phase every awake process
+multicasts ``[vote, Λ]``; in the receive phase each process tallies the
+votes it received and outputs logs with grades:
+
+* grade 1 — logs voted by more than ``(1 − β)·m`` of the ``m`` processes
+  it heard from (``> 2m/3`` for the paper's β = 1/3);
+* grade 0 — logs voted by more than ``β·m`` but at most ``(1 − β)·m``.
+
+A vote for ``Λ'`` counts as a vote for every prefix ``Λ`` of ``Λ'``, and
+two different vote messages from the same process are ignored
+(equivocation discard).  Thresholds are evaluated with exact integer
+arithmetic (``den·count > (den − num)·m``), never floats.
+
+The tally is shared by every protocol in the repository: the original
+MMR TOB, the extended GA of Figure 3, and the η-expiration TOB differ
+only in *which* votes they feed it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.chain.block import GENESIS_TIP, BlockId
+from repro.chain.tree import BlockTree
+from repro.crypto.signatures import SecretKey
+from repro.sleepy.messages import CachedVerifier, Message, VoteMessage, make_vote
+from repro.sleepy.process import Process
+
+#: The paper's default failure ratio (1/3-resilient MMR).
+DEFAULT_BETA = Fraction(1, 3)
+
+
+@dataclass(frozen=True)
+class GAOutput:
+    """Result of one graded-agreement tally.
+
+    Attributes:
+        grade1: tips of logs output with grade 1, sorted by depth.
+        grade0: tips of logs output with grade 0 (``> β·m`` but
+            ``≤ (1 − β)·m``), sorted by depth.
+        m: perceived participation — number of distinct processes whose
+            vote entered the tally.
+    """
+
+    grade1: tuple[BlockId | None, ...]
+    grade0: tuple[BlockId | None, ...]
+    m: int
+
+    def all_output(self) -> tuple[BlockId | None, ...]:
+        """Tips output with *any* grade (``(Λ, ∗)`` in the paper)."""
+        return self.grade1 + self.grade0
+
+    def has_grade1(self, tip: BlockId | None) -> bool:
+        """Whether ``tip``'s log was output with grade 1."""
+        return tip in self.grade1
+
+
+def tally_votes(
+    tree: BlockTree,
+    votes: Mapping[int, BlockId | None],
+    beta: Fraction = DEFAULT_BETA,
+) -> GAOutput:
+    """Tally one vote per process and grade the voted logs.
+
+    ``votes`` maps each process to the tip it voted for — the caller is
+    responsible for vote selection (one per process, equivocations
+    already discarded, unknown tips already excluded).  Every tip must
+    be present in ``tree``.
+    """
+    if not Fraction(0) < beta <= Fraction(1, 2):
+        # β ≤ 1/2 in every protocol this repository covers; reject junk early.
+        raise ValueError(f"failure ratio β must be in (0, 1/2], got {beta}")
+    m = len(votes)
+    if m == 0:
+        return GAOutput(grade1=(), grade0=(), m=0)
+
+    # Accumulate prefix counts: a vote for a tip counts for every
+    # ancestor of that tip (including the empty log).
+    direct = Counter(votes.values())
+    counts: Counter = Counter()
+    for tip, weight in direct.items():
+        node = tip
+        while node is not GENESIS_TIP:
+            counts[node] += weight
+            node = tree.parent(node)
+        counts[GENESIS_TIP] += weight
+
+    num, den = beta.numerator, beta.denominator
+    grade1: list[BlockId | None] = []
+    grade0: list[BlockId | None] = []
+    for tip, count in counts.items():
+        if den * count > (den - num) * m:
+            grade1.append(tip)
+        elif den * count > num * m:
+            grade0.append(tip)
+
+    def sort_key(tip: BlockId | None) -> tuple[int, str]:
+        return (tree.depth(tip), tip if tip is not None else "")
+
+    return GAOutput(
+        grade1=tuple(sorted(grade1, key=sort_key)),
+        grade0=tuple(sorted(grade0, key=sort_key)),
+        m=m,
+    )
+
+
+def select_current_round_votes(
+    tree: BlockTree,
+    vote_messages: Sequence[VoteMessage],
+    round_number: int,
+) -> dict[int, BlockId | None]:
+    """Figure 2 vote selection: round-``r`` votes, equivocators discarded.
+
+    Votes whose tip is not in ``tree`` (the receiver never learned the
+    block) are excluded — a receiver cannot count a vote for a log it
+    cannot interpret.
+    """
+    seen: dict[int, BlockId | None] = {}
+    equivocators: set[int] = set()
+    for message in vote_messages:
+        if message.round != round_number:
+            continue
+        if message.sender in equivocators:
+            continue
+        if message.sender in seen and seen[message.sender] != message.tip:
+            equivocators.add(message.sender)
+            del seen[message.sender]
+            continue
+        seen[message.sender] = message.tip
+    return {pid: tip for pid, tip in seen.items() if tip in tree}
+
+
+class GAVoteProcess(Process):
+    """A one-shot graded-agreement participant (paper Figure 2).
+
+    Used to run GA instances standalone — the property-test suite drives
+    hundreds of these through the simulator to check the GA properties
+    of Lemma 1 directly.  The process votes for its ``input_tip`` in
+    round ``ga_round`` and exposes the tally of what it received as
+    :attr:`output`.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        key: SecretKey,
+        verifier: CachedVerifier,
+        tree: BlockTree,
+        input_tip: BlockId | None,
+        ga_round: int = 0,
+        beta: Fraction = DEFAULT_BETA,
+    ) -> None:
+        super().__init__(pid)
+        self._key = key
+        self._verifier = verifier
+        self._tree = tree
+        self._input_tip = input_tip
+        self._ga_round = ga_round
+        self._beta = beta
+        self._received: list[VoteMessage] = []
+        self.output: GAOutput | None = None
+
+    def send(self, round_number: int) -> Sequence[Message]:
+        if round_number != self._ga_round:
+            return ()
+        return [make_vote(self._verifier.registry, self._key, round_number, self._input_tip)]
+
+    def receive(self, round_number: int, messages: Sequence[Message]) -> None:
+        for message in messages:
+            if isinstance(message, VoteMessage) and self._verifier.verify(message):
+                self._received.append(message)
+        votes = select_current_round_votes(self._tree, self._received, self._ga_round)
+        self.output = tally_votes(self._tree, votes, self._beta)

@@ -1,0 +1,50 @@
+"""The original Malkhi–Momose–Ren protocol (paper §3.1, Algorithm 1).
+
+Each GA instance tallies **only the votes cast in its own round** — the
+property that makes the protocol tolerate fully dynamic participation
+but lose safety in a single asynchronous decision round (the §1 attack,
+reproduced by ``benchmarks/bench_async_attack.py``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.chain.transactions import Mempool
+from repro.protocols.graded_agreement import DEFAULT_BETA
+from repro.protocols.tob_base import DEFAULT_BLOCK_CAPACITY, SleepyTOBProcess
+from repro.sleepy.messages import CachedVerifier
+from repro.sleepy.simulator import ProcessFactory
+
+
+class MMRProcess(SleepyTOBProcess):
+    """Algorithm 1 with the original current-round-only vote rule."""
+
+    def vote_window(self, ga_round: int) -> tuple[int, int]:
+        return (ga_round, ga_round)
+
+    def receive(self, round_number, messages):  # noqa: D102 - inherited docs
+        super().receive(round_number, messages)
+        # Votes older than the previous round can never be tallied again.
+        self._votes.prune(round_number - 1)
+
+
+def mmr_factory(
+    beta: Fraction = DEFAULT_BETA,
+    block_capacity: int = DEFAULT_BLOCK_CAPACITY,
+    record_telemetry: bool = False,
+) -> ProcessFactory:
+    """A :class:`~repro.sleepy.simulator.ProcessFactory` for MMR processes."""
+
+    def factory(pid: int, key, verifier: CachedVerifier) -> MMRProcess:
+        return MMRProcess(
+            pid,
+            key,
+            verifier,
+            beta=beta,
+            mempool=Mempool(),
+            block_capacity=block_capacity,
+            record_telemetry=record_telemetry,
+        )
+
+    return factory

@@ -1,0 +1,337 @@
+"""The view-structured TOB state machine (paper Algorithm 1).
+
+Both the original MMR protocol and the paper's asynchrony-resilient
+modification run the *same* view structure; they differ in exactly one
+place — which votes a GA instance tallies.  This module implements the
+shared machine and leaves that one decision to
+:meth:`SleepyTOBProcess.vote_window`.
+
+Round/view layout (Algorithm 1):
+
+* round 0 (view 0): multicast ``[propose, [b0], VRF(1)]`` — all
+  processes propose the genesis log for view 1.
+* round ``2v − 1`` (round 1 of view ``v ≥ 1``):
+  compute the outputs of ``GA_{v−1,2}`` (votes of round ``2v − 2``);
+  **decide** every log output with grade 1; set ``L_{v−1}`` to the
+  longest log output with any grade; start ``GA_{v,1}`` by voting for
+  the log of the propose message with the largest valid ``VRF(v)`` that
+  does not conflict with ``L_{v−1}``.
+* round ``2v`` (round 2 of view ``v``):
+  compute the outputs of ``GA_{v,1}`` (votes of round ``2v − 1``);
+  start ``GA_{v,2}`` by voting for the longest log output with grade 1;
+  set ``C_v`` to the longest log output with any grade; multicast
+  ``[propose, C_v‖b, VRF(v + 1)]`` with a fresh block ``b``.
+
+Conventions where the paper leaves freedom (all documented choices):
+
+* ``L_0`` is the empty log — nothing conflicts with it, so every view-1
+  proposal (necessarily ``[b0]``) is admissible.
+* If no admissible proposal is known when ``GA_{v,1}`` starts (possible
+  only outside the paper's assumptions), the process votes for
+  ``L_{v−1}`` itself rather than halting.
+* A GA tally with **no votes at all** (``m = 0``, impossible under the
+  paper's synchrony assumptions but reachable during delivery
+  blackouts) falls back to the process's own delivered log, never the
+  empty log: restarting from scratch would make even the fault-free
+  baseline fork after an outage, which the paper does not intend — the
+  baseline's asynchrony failures should come from the adversary, not
+  from an implementation artefact.
+* Ties (equal depth) among "longest" outputs are broken by tip id;
+  VRF ties by (value, sender).  Both keep honest processes
+  deterministic and identical.
+* The ``GA_{v,1}`` input is the max-VRF non-conflicting proposal *or*
+  ``L_{v−1}``, whichever is longer.  Taken literally, "a log in the
+  propose message with the largest valid VRF(v) not conflicting with
+  ``L_{v−1}``" admits proposals that are *prefixes* of ``L_{v−1}``
+  (e.g. ``[b0]``), and voting such a proposal regresses the chain and
+  breaks the induction in the paper's own Lemma 3 proof — a Byzantine
+  proposer winning sortition with a stale-but-compatible proposal
+  could then fork the chain under full synchrony.  Lemma 3 needs every
+  honest vote to extend decided logs, and ``L_{v−1}`` always does, so
+  the vote never goes below it.  (The regression is kept as an xfail
+  attack test: ``tests/protocols/test_adversarial_proposers.py``.)
+* A process records a decision event whenever the decided log strictly
+  extends — or conflicts with — the longest log it has delivered so
+  far; re-deliveries of prefixes are silent.  Conflicting decisions are
+  *recorded faithfully* so the safety checkers can observe violations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.chain.block import GENESIS_TIP, Block, BlockId, genesis_block
+from repro.chain.store import BlockBuffer
+from repro.chain.transactions import Mempool
+from repro.chain.tree import BlockTree
+from repro.core.expiration import LatestVoteStore
+from repro.crypto.signatures import SecretKey
+from repro.protocols.graded_agreement import DEFAULT_BETA, GAOutput, tally_votes
+from repro.sleepy.messages import (
+    CachedVerifier,
+    Message,
+    ProposeMessage,
+    VoteMessage,
+    make_propose,
+    make_vote,
+)
+from repro.sleepy.process import Process
+from repro.sleepy.trace import DecisionEvent
+
+#: Maximum transactions a proposer packs into one block.
+DEFAULT_BLOCK_CAPACITY = 16
+
+
+@dataclass(frozen=True)
+class TallySample:
+    """Telemetry of one GA tally: how close the quorum race was.
+
+    ``margin`` is ``best_count − ⌊(1 − β)·m⌋`` — how many votes past
+    (positive) or short of (non-positive) the grade-1 threshold the
+    leading log was.  Falling margins are the early-warning signal that
+    churn or stale votes are eating the quorum (the Equation 2 story).
+    """
+
+    ga_round: int
+    m: int
+    best_count: int
+    best_depth: int
+    margin: int
+
+
+class SleepyTOBProcess(Process):
+    """A well-behaved participant of Algorithm 1 (vote selection abstract)."""
+
+    def __init__(
+        self,
+        pid: int,
+        key: SecretKey,
+        verifier: CachedVerifier,
+        beta: Fraction = DEFAULT_BETA,
+        mempool: Mempool | None = None,
+        block_capacity: int = DEFAULT_BLOCK_CAPACITY,
+        record_telemetry: bool = False,
+    ) -> None:
+        super().__init__(pid)
+        self._key = key
+        self._verifier = verifier
+        self._beta = beta
+        self.mempool = mempool if mempool is not None else Mempool()
+        self._block_capacity = block_capacity
+        self._record_telemetry = record_telemetry
+        #: Per-GA quorum-race telemetry (populated when enabled).
+        self.telemetry: list[TallySample] = []
+
+        self.tree = BlockTree([genesis_block()])
+        self._buffer = BlockBuffer(self.tree)
+        self._votes = LatestVoteStore()
+        # view -> sender -> propose message (or _EQUIVOCATED marker).
+        self._proposals: dict[int, dict[int, ProposeMessage | None]] = {}
+
+        #: Tip of the longest log this process has delivered.
+        self.delivered_tip: BlockId | None = GENESIS_TIP
+        self._pending_decisions: list[DecisionEvent] = []
+
+    # ------------------------------------------------------------------
+    # The one protocol-defining hook
+    # ------------------------------------------------------------------
+    def vote_window(self, ga_round: int) -> tuple[int, int]:
+        """Rounds whose votes the GA instance of ``ga_round`` tallies.
+
+        The original protocol returns ``(ga_round, ga_round)``; the
+        asynchrony-resilient protocol returns ``(ga_round − η, ga_round)``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Send phase (Algorithm 1, per round kind)
+    # ------------------------------------------------------------------
+    def send(self, round_number: int) -> Sequence[Message]:
+        if round_number == 0:
+            return self._send_view_zero(round_number)
+        if round_number % 2 == 1:
+            return self._send_round_one(round_number)
+        return self._send_round_two(round_number)
+
+    def _send_view_zero(self, r: int) -> Sequence[Message]:
+        # Multicast [propose, [b0], VRF(1)]: propose the genesis log for view 1.
+        return [make_propose(self._verifier.registry, self._key, r, view=1, block=genesis_block())]
+
+    def _send_round_one(self, r: int) -> Sequence[Message]:
+        view = (r + 1) // 2
+        output_prev = self._ga_output(r - 1) if view >= 2 else None
+
+        if output_prev is not None and output_prev.grade1:
+            self._decide(self.tree.longest(output_prev.grade1), r, view - 1)
+        if output_prev is not None and output_prev.all_output():
+            longest_any = self.tree.longest(output_prev.all_output())
+        elif view == 1:
+            longest_any = GENESIS_TIP  # L_0: the empty log
+        else:
+            longest_any = self.delivered_tip  # m = 0 fallback (see module docs)
+
+        input_tip = self._select_proposal(view, longest_any)
+        return [make_vote(self._verifier.registry, self._key, r, input_tip)]
+
+    def _send_round_two(self, r: int) -> Sequence[Message]:
+        view = r // 2
+        output = self._ga_output(r - 1)
+        if output.grade1:
+            input_tip = self.tree.longest(output.grade1)
+        else:
+            input_tip = self.delivered_tip  # m = 0 fallback (see module docs)
+        if output.all_output():
+            c_v = self.tree.longest(output.all_output())
+        else:
+            c_v = self.delivered_tip
+
+        block = self._make_block(parent=c_v, view=view + 1)
+        return [
+            make_vote(self._verifier.registry, self._key, r, input_tip),
+            make_propose(self._verifier.registry, self._key, r, view=view + 1, block=block),
+        ]
+
+    # ------------------------------------------------------------------
+    # Receive phase
+    # ------------------------------------------------------------------
+    def receive(self, round_number: int, messages: Sequence[Message]) -> None:
+        for message in messages:
+            if not self._verifier.verify(message):
+                continue
+            if isinstance(message, VoteMessage):
+                self._votes.record(message.sender, message.round, message.tip)
+            elif isinstance(message, ProposeMessage):
+                self._record_proposal(message, round_number)
+        self._prune_proposals(round_number)
+
+    def _prune_proposals(self, round_number: int) -> None:
+        # A view-v proposal is only ever consulted at round 2v − 1; keep a
+        # couple of views of slack for processes acting on a backlog, and
+        # drop the rest so long runs stay memory-bounded.
+        current_view = (round_number + 1) // 2
+        horizon = current_view - 2
+        for view in [v for v in self._proposals if v < horizon]:
+            del self._proposals[view]
+
+    def _record_proposal(self, message: ProposeMessage, round_number: int) -> None:
+        assert message.block is not None  # verified
+        # A well-behaved view-v proposal is multicast at round 2v − 2 and
+        # can therefore never be received before that round; future-view
+        # proposals are Byzantine chaff and would otherwise accumulate
+        # unboundedly (their view keys sit above the pruning horizon).
+        if message.view > round_number // 2 + 1:
+            return
+        self._buffer.offer(message.block)
+        per_view = self._proposals.setdefault(message.view, {})
+        existing = per_view.get(message.sender, _MISSING)
+        if existing is _MISSING:
+            per_view[message.sender] = message
+        elif existing is not None and existing.tip != message.tip:
+            # Equivocating proposer: all its proposals for this view are void.
+            per_view[message.sender] = None
+
+    # ------------------------------------------------------------------
+    # Algorithm steps
+    # ------------------------------------------------------------------
+    def _ga_output(self, ga_round: int) -> GAOutput:
+        lo, hi = self.vote_window(ga_round)
+        votes = self._votes.latest(lo, hi)
+        known = {pid: tip for pid, tip in votes.items() if tip in self.tree}
+        output = tally_votes(self.tree, known, self._beta)
+        if self._record_telemetry:
+            self._sample_tally(ga_round, known, output)
+        return output
+
+    def _sample_tally(
+        self, ga_round: int, votes: dict[int, BlockId | None], output: GAOutput
+    ) -> None:
+        m = output.m
+        best_tip = self.tree.longest(output.grade1) if output.grade1 else GENESIS_TIP
+        best_count = sum(1 for tip in votes.values() if self.tree.is_prefix(best_tip, tip))
+        one_minus_beta = 1 - self._beta
+        threshold = (one_minus_beta.numerator * m) // one_minus_beta.denominator
+        self.telemetry.append(
+            TallySample(
+                ga_round=ga_round,
+                m=m,
+                best_count=best_count,
+                best_depth=self.tree.depth(best_tip),
+                margin=best_count - threshold,
+            )
+        )
+
+    def _select_proposal(self, view: int, longest_any: BlockId | None) -> BlockId | None:
+        best: ProposeMessage | None = None
+        for message in self._proposals.get(view, {}).values():
+            if message is None:  # equivocator
+                continue
+            if message.tip not in self.tree:  # orphaned block: cannot interpret
+                continue
+            if self.tree.conflict(message.tip, longest_any):
+                continue
+            assert message.vrf is not None
+            if best is None or (message.vrf.value_num, message.sender) > (
+                best.vrf.value_num,  # type: ignore[union-attr]
+                best.sender,
+            ):
+                best = message
+        if best is None:
+            return longest_any
+        # Never vote below L_{v−1}: a stale (prefix) proposal with a
+        # winning VRF must not regress the chain (see module docs).
+        return self.tree.longest([best.tip, longest_any])
+
+    def _make_block(self, parent: BlockId | None, view: int) -> Block:
+        included = self.tree.payload_ids(parent) if parent in self.tree else frozenset()
+        payload = self.mempool.take(self._block_capacity, exclude=included)
+        block = Block(parent=parent, proposer=self.pid, view=view, payload=payload)
+        self._buffer.offer(block)
+        return block
+
+    def _decide(self, tip: BlockId | None, round_number: int, view: int) -> None:
+        if tip == self.delivered_tip:
+            return
+        if self.tree.is_prefix(tip, self.delivered_tip):
+            return  # re-delivery of a prefix: nothing new
+        self._pending_decisions.append(
+            DecisionEvent(pid=self.pid, round=round_number, view=view, tip=tip)
+        )
+        self.delivered_tip = tip
+        self.mempool.mark_included(self.tree.payload_ids(tip))
+
+    # ------------------------------------------------------------------
+    # Accountability
+    # ------------------------------------------------------------------
+    def detected_equivocators(self) -> frozenset[int]:
+        """Processes this process caught double-signing.
+
+        Covers both vote equivocation (two different votes in one round)
+        and proposal equivocation (two different proposals for one
+        view).  Both are attributable offences — the conflicting signed
+        messages are the evidence a slashing mechanism would consume.
+        """
+        proposal_cheats = {
+            sender
+            for per_view in self._proposals.values()
+            for sender, message in per_view.items()
+            if message is None
+        }
+        return self._votes.equivocators() | frozenset(proposal_cheats)
+
+    # ------------------------------------------------------------------
+    # Simulator hooks
+    # ------------------------------------------------------------------
+    def pop_decisions(self) -> list[DecisionEvent]:
+        """Decision events since the last call (drained by the simulator)."""
+        events, self._pending_decisions = self._pending_decisions, []
+        return events
+
+    @property
+    def delivered_log(self):
+        """The longest log this process has delivered, materialised."""
+        return self.tree.log(self.delivered_tip)
+
+
+_MISSING = object()

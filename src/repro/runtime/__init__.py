@@ -1,0 +1,26 @@
+"""Real-time deployment runtime (rounds of Δ = 3δ over gossip).
+
+* :mod:`repro.runtime.clock` — the round clock.
+* :mod:`repro.runtime.node` — a protocol process bridged onto gossip.
+* :mod:`repro.runtime.runner` — whole-deployment orchestration
+  producing a standard :class:`~repro.sleepy.trace.Trace`.
+"""
+
+from repro.runtime.clock import ROUND_FACTOR, RoundClock
+from repro.runtime.node import DeployedNode
+from repro.runtime.runner import (
+    DeploymentConfig,
+    DeploymentResult,
+    run_deployment,
+    run_deployment_async,
+)
+
+__all__ = [
+    "ROUND_FACTOR",
+    "RoundClock",
+    "DeployedNode",
+    "DeploymentConfig",
+    "DeploymentResult",
+    "run_deployment",
+    "run_deployment_async",
+]

@@ -1,0 +1,80 @@
+"""The sleepy round model (paper §2.1) as an executable substrate.
+
+This package implements the system model the paper's protocols run in:
+
+* :mod:`repro.sleepy.messages` — signed ``vote`` and ``propose``
+  messages tagged with their sending round.
+* :mod:`repro.sleepy.schedule` — awake/asleep schedules (who is in
+  ``O_r`` each round), including churn-bounded random walks, spikes,
+  and diurnal patterns.
+* :mod:`repro.sleepy.network` — synchronous delivery plus bounded
+  asynchronous periods ``[ra+1, ra+π]`` with adversary-controlled
+  delivery.
+* :mod:`repro.sleepy.adversary` — the adversary interface (constant or
+  growing corruption, arbitrary Byzantine messages, delivery control
+  during asynchrony) and concrete attack strategies.
+* :mod:`repro.sleepy.simulator` — the round-by-round execution engine
+  (send phase / receive phase) producing a :class:`~repro.sleepy.trace.Trace`.
+"""
+
+from repro.sleepy.adversary import (
+    Adversary,
+    AdversaryContext,
+    AdversarialProposerAdversary,
+    CrashAdversary,
+    EquivocatingVoteAdversary,
+    NullAdversary,
+    RandomAdversary,
+    SplitVoteAttack,
+    StaticVoteAdversary,
+    WithholdingAdversary,
+)
+from repro.sleepy.messages import Message, ProposeMessage, VoteMessage, verify_message
+from repro.sleepy.network import (
+    MultiWindowAsynchrony,
+    NetworkModel,
+    SynchronousNetwork,
+    WindowedAsynchrony,
+)
+from repro.sleepy.process import Process
+from repro.sleepy.schedule import (
+    DiurnalSchedule,
+    FullParticipation,
+    RandomChurnSchedule,
+    SleepSchedule,
+    SpikeSchedule,
+    TableSchedule,
+)
+from repro.sleepy.simulator import Simulation
+from repro.sleepy.trace import DecisionEvent, RoundRecord, Trace
+
+__all__ = [
+    "Adversary",
+    "AdversaryContext",
+    "AdversarialProposerAdversary",
+    "CrashAdversary",
+    "DecisionEvent",
+    "DiurnalSchedule",
+    "EquivocatingVoteAdversary",
+    "FullParticipation",
+    "Message",
+    "MultiWindowAsynchrony",
+    "NetworkModel",
+    "NullAdversary",
+    "Process",
+    "ProposeMessage",
+    "RandomAdversary",
+    "RandomChurnSchedule",
+    "RoundRecord",
+    "Simulation",
+    "SleepSchedule",
+    "SpikeSchedule",
+    "SplitVoteAttack",
+    "StaticVoteAdversary",
+    "SynchronousNetwork",
+    "TableSchedule",
+    "Trace",
+    "VoteMessage",
+    "WindowedAsynchrony",
+    "verify_message",
+]

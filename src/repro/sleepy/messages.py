@@ -1,0 +1,185 @@
+"""Signed protocol messages (paper §2.1, "Message structure").
+
+Every message is tagged with the round in which it was sent and carries
+an unforgeable signature; messages without a valid signature are
+discarded by well-behaved receivers.  Two kinds of messages exist in the
+MMR family of protocols:
+
+* ``[vote, Λ]`` — a graded-agreement vote for the log with tip ``tip``
+  (paper Figures 2 and 3).  Votes reference logs by tip id; the blocks
+  themselves travel in propose messages.
+* ``[propose, Λ, VRF(v)]`` — a proposal of log ``Λ`` for view ``v``
+  (paper Algorithm 1).  Proposals carry the *new block* so receivers can
+  extend their local trees; ancestors are assumed to have been carried
+  by earlier proposals (an orphan buffer handles out-of-order arrival).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.block import Block, BlockId
+from repro.crypto.hashing import hash_fields
+from repro.crypto.signatures import KeyRegistry, SecretKey, Signature
+from repro.crypto.vrf import VRFOutput, evaluate_vrf, verify_vrf
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for signed, round-tagged messages."""
+
+    sender: int
+    round: int
+    signature: Signature = field(compare=False)
+
+    @property
+    def message_id(self) -> str:
+        """Unique id (hash of contents, signature included).
+
+        Computed on first access and memoised on the (frozen) instance —
+        the simulator consults ids on every delivery decision.
+        """
+        cached = self.__dict__.get("_message_id")
+        if cached is None:
+            cached = hash_fields(type(self).__name__, *self._signed_fields(), self.signature)
+            object.__setattr__(self, "_message_id", cached)
+        return cached
+
+    def _signed_fields(self) -> tuple:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class VoteMessage(Message):
+    """``[vote, Λ]_p`` sent in round ``round`` for the log with tip ``tip``."""
+
+    tip: BlockId | None = None
+
+    def _signed_fields(self) -> tuple:
+        return ("vote", self.sender, self.round, self.tip)
+
+
+@dataclass(frozen=True)
+class AckMessage(Message):
+    """``[ack, Λ]_p``: finality-layer acknowledgement of a delivered log.
+
+    Not part of the paper's protocols — used by the ebb-and-flow
+    finality overlay (:mod:`repro.finality`), which the paper's §3
+    discussion motivates.  Acks are signed like every other message.
+    """
+
+    tip: BlockId | None = None
+
+    def _signed_fields(self) -> tuple:
+        return ("ack", self.sender, self.round, self.tip)
+
+
+@dataclass(frozen=True)
+class ProposeMessage(Message):
+    """``[propose, Λ, VRF_p(view)]_p`` proposing the log ending in ``block``."""
+
+    view: int = 0
+    block: Block | None = None
+    vrf: VRFOutput | None = None
+
+    @property
+    def tip(self) -> BlockId | None:
+        """Tip of the proposed log."""
+        return self.block.block_id if self.block is not None else None
+
+    def _signed_fields(self) -> tuple:
+        vrf_fields = (self.vrf.value_num, self.vrf.proof) if self.vrf else (0, "")
+        return ("propose", self.sender, self.round, self.view, self.tip, *vrf_fields)
+
+
+def make_vote(
+    registry: KeyRegistry, key: SecretKey, round_number: int, tip: BlockId | None
+) -> VoteMessage:
+    """Create a signed vote message from ``key``'s holder."""
+    unsigned = VoteMessage(sender=key.pid, round=round_number, signature="", tip=tip)
+    return VoteMessage(
+        sender=key.pid,
+        round=round_number,
+        signature=registry.sign(key, *unsigned._signed_fields()),
+        tip=tip,
+    )
+
+
+def make_ack(
+    registry: KeyRegistry, key: SecretKey, round_number: int, tip: BlockId | None
+) -> AckMessage:
+    """Create a signed finality acknowledgement from ``key``'s holder."""
+    unsigned = AckMessage(sender=key.pid, round=round_number, signature="", tip=tip)
+    return AckMessage(
+        sender=key.pid,
+        round=round_number,
+        signature=registry.sign(key, *unsigned._signed_fields()),
+        tip=tip,
+    )
+
+
+def make_propose(
+    registry: KeyRegistry,
+    key: SecretKey,
+    round_number: int,
+    view: int,
+    block: Block,
+) -> ProposeMessage:
+    """Create a signed propose message carrying ``block`` for ``view``.
+
+    The VRF is evaluated on the view number, as in Algorithm 1.
+    """
+    vrf = evaluate_vrf(registry, key, view)
+    unsigned = ProposeMessage(
+        sender=key.pid, round=round_number, signature="", view=view, block=block, vrf=vrf
+    )
+    return ProposeMessage(
+        sender=key.pid,
+        round=round_number,
+        signature=registry.sign(key, *unsigned._signed_fields()),
+        view=view,
+        block=block,
+        vrf=vrf,
+    )
+
+
+def verify_message(registry: KeyRegistry, message: Message) -> bool:
+    """Signature (and, for proposals, VRF) verification.
+
+    Well-behaved processes drop messages that fail this check, so a
+    Byzantine process can only ever speak *as itself*.
+    """
+    if not registry.verify(message.sender, message.signature, *message._signed_fields()):
+        return False
+    if isinstance(message, ProposeMessage):
+        if message.block is None or message.vrf is None:
+            return False
+        return verify_vrf(registry, message.sender, message.view, message.vrf)
+    return True
+
+
+class CachedVerifier:
+    """Memoised :func:`verify_message` shared by all processes of a run.
+
+    Verification is deterministic, and in a multicast model every
+    process verifies the same messages; a shared memo keyed by
+    ``message_id`` (which covers the signature) removes the redundant
+    work without changing semantics.
+    """
+
+    def __init__(self, registry: KeyRegistry) -> None:
+        self._registry = registry
+        self._memo: dict[str, bool] = {}
+
+    @property
+    def registry(self) -> KeyRegistry:
+        return self._registry
+
+    def verify(self, message: Message) -> bool:
+        """Memoised :func:`verify_message` for one message."""
+        key = message.message_id
+        result = self._memo.get(key)
+        if result is None:
+            result = verify_message(self._registry, message)
+            self._memo[key] = result
+        return result

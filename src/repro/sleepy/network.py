@@ -1,0 +1,78 @@
+"""Network models: synchrony and bounded asynchronous periods (paper §2.1).
+
+A network model answers, per round, whether the round is synchronous.
+In a synchronous round every process awake in the receive phase gets
+*all* messages sent in rounds ``≤ r`` that it has not received yet (this
+subsumes the queue-and-deliver-on-wake rule for sleepers).  In an
+asynchronous round the adversary chooses an arbitrary subset per
+receiver.  Messages are never dropped permanently: they "withstand the
+transient asynchronous period ... and are delivered to all awake
+processes once normal network conditions are restored" (§2.1), which the
+simulator realises by tracking undelivered messages per receiver.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+
+class NetworkModel(ABC):
+    """Per-round synchrony oracle."""
+
+    @abstractmethod
+    def is_asynchronous(self, round_number: int) -> bool:
+        """Whether delivery in round ``round_number``'s receive phase is adversarial."""
+
+    def asynchronous_rounds(self, horizon: int) -> tuple[int, ...]:
+        """All asynchronous rounds below ``horizon`` (for reporting)."""
+        return tuple(r for r in range(horizon) if self.is_asynchronous(r))
+
+
+class SynchronousNetwork(NetworkModel):
+    """Every round is synchronous (the paper's common case)."""
+
+    def is_asynchronous(self, round_number: int) -> bool:
+        return False
+
+
+class WindowedAsynchrony(NetworkModel):
+    """A single asynchronous period ``[ra + 1, ra + π]`` (paper §2.1).
+
+    ``ra`` is the last synchronous round before the period; ``pi`` is the
+    period's length in rounds.  ``pi = 0`` degenerates to full synchrony.
+    """
+
+    def __init__(self, ra: int, pi: int) -> None:
+        if ra < 0:
+            raise ValueError("ra must be non-negative")
+        if pi < 0:
+            raise ValueError("pi must be non-negative")
+        self.ra = ra
+        self.pi = pi
+
+    def is_asynchronous(self, round_number: int) -> bool:
+        return self.ra + 1 <= round_number <= self.ra + self.pi
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WindowedAsynchrony(ra={self.ra}, pi={self.pi})"
+
+
+class MultiWindowAsynchrony(NetworkModel):
+    """Several disjoint asynchronous windows.
+
+    The paper's model assumes a *single* asynchronous period; this class
+    is an extension used by ablation benches (repeated outages with
+    healing in between).  Windows are given as ``(ra, pi)`` pairs with
+    the same meaning as :class:`WindowedAsynchrony`.
+    """
+
+    def __init__(self, windows: Iterable[tuple[int, int]]) -> None:
+        self._windows = [WindowedAsynchrony(ra, pi) for ra, pi in windows]
+        spans = sorted((w.ra + 1, w.ra + w.pi) for w in self._windows if w.pi > 0)
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            if start_b <= end_a:
+                raise ValueError("asynchrony windows overlap")
+
+    def is_asynchronous(self, round_number: int) -> bool:
+        return any(w.is_asynchronous(round_number) for w in self._windows)

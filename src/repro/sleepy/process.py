@@ -1,0 +1,35 @@
+"""The process interface the round simulator drives.
+
+A well-behaved process is a deterministic state machine consulted twice
+per round, matching the paper's round structure (§2.1): once in the send
+phase (beginning of the round, if the process is in ``O_r``) and once in
+the receive phase (end of the round, if it is in ``O_{r+1}``).  Asleep
+processes are simply not consulted — they "do not execute the protocol".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.sleepy.messages import Message
+
+
+class Process(ABC):
+    """A well-behaved protocol participant."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+
+    @abstractmethod
+    def send(self, round_number: int) -> Sequence[Message]:
+        """Send phase of ``round_number``: the messages to multicast."""
+
+    @abstractmethod
+    def receive(self, round_number: int, messages: Sequence[Message]) -> None:
+        """Receive phase of ``round_number``: ingest delivered messages.
+
+        ``messages`` contains everything the network delivers in this
+        phase — for a synchronous round, all messages sent in rounds
+        ``≤ round_number`` not delivered to this process before.
+        """

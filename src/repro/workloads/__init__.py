@@ -1,0 +1,44 @@
+"""Workloads: participation patterns, transaction streams, scenarios.
+
+* :mod:`repro.workloads.participation` — schedule generators for the
+  shapes the paper motivates (stable, bounded churn, correlated outage
+  incl. the May-2023 Ethereum incident, diurnal, linear ramp).
+* :mod:`repro.workloads.transactions` — reproducible transaction
+  arrival streams.
+* :mod:`repro.workloads.scenarios` — one prebuilt
+  :class:`~repro.harness.TOBRunConfig` per paper claim, shared by
+  benches, examples, and integration tests.
+"""
+
+from repro.workloads.participation import (
+    RampSchedule,
+    RotatingSchedule,
+    churn_walk,
+    diurnal,
+    ethereum_may_2023,
+    outage,
+    stable,
+)
+from repro.workloads.scenarios import (
+    blackout_scenario,
+    churn_scenario,
+    ethereum_outage_scenario,
+    split_vote_attack_scenario,
+)
+from repro.workloads.transactions import burst_stream, constant_rate_stream
+
+__all__ = [
+    "RampSchedule",
+    "RotatingSchedule",
+    "blackout_scenario",
+    "burst_stream",
+    "churn_scenario",
+    "churn_walk",
+    "constant_rate_stream",
+    "diurnal",
+    "ethereum_may_2023",
+    "ethereum_outage_scenario",
+    "outage",
+    "split_vote_attack_scenario",
+    "stable",
+]

@@ -1,0 +1,123 @@
+"""Prebuilt experiment scenarios (one per paper claim).
+
+Benches, examples, and integration tests share these constructors so
+that "the attack from §1" or "the Ethereum outage" means exactly the
+same configuration everywhere.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.harness import TOBRunConfig
+from repro.protocols.graded_agreement import DEFAULT_BETA
+from repro.sleepy.adversary import CrashAdversary, SplitVoteAttack, WithholdingAdversary
+from repro.sleepy.network import WindowedAsynchrony
+from repro.workloads.participation import churn_walk, ethereum_may_2023
+
+
+def split_vote_attack_scenario(
+    protocol: str,
+    eta: int,
+    pi: int = 1,
+    n: int = 20,
+    target_round: int = 10,
+    tail_rounds: int = 14,
+    beta: Fraction = DEFAULT_BETA,
+    seed: int = 0,
+) -> TOBRunConfig:
+    """The §1 agreement attack: split-vote in an asynchronous decision round.
+
+    The asynchronous window is ``[target_round − π + 1, target_round]``
+    (i.e. ``ra = target_round − π``), so the attacked decision round is
+    the window's last round.  A fifth of the processes are Byzantine —
+    comfortably below β̃ for mild churn, so the attack's success against
+    the original protocol is attributable to asynchrony, not to an
+    oversized adversary.
+    """
+    byz = list(range(n - n // 5, n))
+    return TOBRunConfig(
+        n=n,
+        rounds=target_round + tail_rounds,
+        protocol=protocol,
+        eta=eta,
+        beta=beta,
+        adversary=SplitVoteAttack(byz, target_round=target_round),
+        network=WindowedAsynchrony(ra=target_round - pi, pi=pi),
+        seed=seed,
+        meta={"scenario": "split-vote-attack", "pi": pi, "ra": target_round - pi},
+    )
+
+
+def blackout_scenario(
+    protocol: str,
+    eta: int,
+    pi: int,
+    ra: int = 9,
+    n: int = 12,
+    rounds: int = 30,
+    seed: int = 0,
+) -> TOBRunConfig:
+    """A π-round delivery blackout (liveness attack, Theorem 3 healing)."""
+    return TOBRunConfig(
+        n=n,
+        rounds=rounds,
+        protocol=protocol,
+        eta=eta,
+        adversary=WithholdingAdversary(),
+        network=WindowedAsynchrony(ra=ra, pi=pi),
+        seed=seed,
+        meta={"scenario": "blackout", "pi": pi, "ra": ra},
+    )
+
+
+def ethereum_outage_scenario(
+    protocol: str = "resilient",
+    eta: int = 4,
+    n: int = 50,
+    start: int = 10,
+    duration: int = 20,
+    rounds: int = 50,
+    seed: int = 0,
+) -> TOBRunConfig:
+    """The May-2023 Ethereum outage replay (60% offline, then return)."""
+    return TOBRunConfig(
+        n=n,
+        rounds=rounds,
+        protocol=protocol,
+        eta=eta,
+        schedule=ethereum_may_2023(n, start=start, duration=duration),
+        seed=seed,
+        meta={"scenario": "ethereum-outage", "outage": (start, duration)},
+    )
+
+
+def churn_scenario(
+    protocol: str,
+    eta: int,
+    gamma: float,
+    n: int = 40,
+    rounds: int = 60,
+    byzantine: int = 0,
+    seed: int = 0,
+) -> TOBRunConfig:
+    """Bounded-churn random participation with an optional silent adversary.
+
+    Used by the Figure 1 empirical companion: pick γ and a Byzantine
+    count at/below/above β̃(γ)·|O_r| and observe progress or stall.
+    """
+    # The walk covers all pids; corrupted pids are simply carved out of
+    # H_r by the simulator (and kept permanently awake, as the model
+    # requires).
+    adversary = CrashAdversary(list(range(n - byzantine, n))) if byzantine else None
+    schedule = churn_walk(n, eta, gamma, seed=seed)
+    return TOBRunConfig(
+        n=n,
+        rounds=rounds,
+        protocol=protocol,
+        eta=eta,
+        schedule=schedule,
+        adversary=adversary,
+        seed=seed,
+        meta={"scenario": "churn", "gamma": gamma, "byzantine": byzantine},
+    )

@@ -1,0 +1,52 @@
+"""Transaction arrival workloads."""
+
+from __future__ import annotations
+
+import random
+
+from repro.chain.transactions import Transaction
+
+
+def constant_rate_stream(
+    rate_per_round: int,
+    rounds: int,
+    seed: int = 0,
+    payload_bytes: int = 8,
+) -> dict[int, list[Transaction]]:
+    """``rate_per_round`` fresh transactions arriving every round.
+
+    Returns the ``{round: [tx, ...]}`` mapping that
+    :class:`~repro.harness.TOBRunConfig.transactions` expects.  Senders
+    and payloads are drawn from a seeded generator so workloads are
+    reproducible.
+    """
+    if rate_per_round < 0:
+        raise ValueError("rate must be non-negative")
+    rng = random.Random(seed)
+    stream: dict[int, list[Transaction]] = {}
+    nonce = 0
+    for r in range(rounds):
+        arrivals = []
+        for _ in range(rate_per_round):
+            sender = rng.randrange(1 << 16)
+            payload = rng.randbytes(payload_bytes)
+            arrivals.append(Transaction.create(sender, nonce, payload))
+            nonce += 1
+        if arrivals:
+            stream[r] = arrivals
+    return stream
+
+
+def burst_stream(
+    burst_round: int,
+    burst_size: int,
+    seed: int = 0,
+) -> dict[int, list[Transaction]]:
+    """A single burst of ``burst_size`` transactions at one round."""
+    rng = random.Random(seed)
+    return {
+        burst_round: [
+            Transaction.create(rng.randrange(1 << 16), i, rng.randbytes(8))
+            for i in range(burst_size)
+        ]
+    }

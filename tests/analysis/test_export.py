@@ -1,0 +1,79 @@
+"""Trace serialisation round-trips."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.checkers import check_safety
+from repro.analysis.export import load_trace, save_trace, trace_from_dict, trace_to_dict
+from repro.analysis.metrics import decided_depth_timeline
+from repro.chain.transactions import Transaction
+from repro.harness import TOBRunConfig, run_tob
+from repro.workloads import split_vote_attack_scenario
+
+
+def make_trace():
+    txs = [Transaction.create(1, i, b"x") for i in range(3)]
+    return run_tob(
+        TOBRunConfig(n=6, rounds=14, protocol="resilient", eta=2, transactions={3: txs})
+    )
+
+
+def test_round_trip_preserves_everything():
+    original = make_trace()
+    rebuilt = trace_from_dict(trace_to_dict(original))
+
+    assert rebuilt.n == original.n
+    assert rebuilt.meta == original.meta
+    assert rebuilt.decisions == original.decisions
+    assert rebuilt.rounds == original.rounds
+    # Block identity is content-derived, so the trees must agree exactly.
+    for tip in original.tree.tips():
+        assert tip in rebuilt.tree
+        assert rebuilt.tree.path(tip) == original.tree.path(tip)
+        assert rebuilt.tree.payload_ids(tip) == original.tree.payload_ids(tip)
+
+
+def test_checkers_work_on_reloaded_traces(tmp_path):
+    original = make_trace()
+    path = tmp_path / "trace.json"
+    save_trace(original, path)
+    rebuilt = load_trace(path)
+    assert check_safety(rebuilt).ok == check_safety(original).ok
+    assert decided_depth_timeline(rebuilt) == decided_depth_timeline(original)
+
+
+def test_unsafe_trace_round_trips_conflicts(tmp_path):
+    original = run_tob(split_vote_attack_scenario("mmr", eta=0, pi=1, n=20))
+    path = tmp_path / "attack.json"
+    save_trace(original, path)
+    rebuilt = load_trace(path)
+    assert not check_safety(rebuilt).ok
+    assert len(check_safety(rebuilt).conflicts) == len(check_safety(original).conflicts)
+
+
+def test_meta_fractions_round_trip():
+    original = make_trace()
+    original.meta["beta"] = Fraction(1, 3)
+    original.meta["window"] = (9, 2)
+    rebuilt = trace_from_dict(trace_to_dict(original))
+    assert rebuilt.meta["beta"] == Fraction(1, 3)
+    assert rebuilt.meta["window"] == (9, 2)
+
+
+def test_version_check():
+    original = make_trace()
+    data = trace_to_dict(original)
+    data["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        trace_from_dict(data)
+
+
+def test_corrupt_block_set_rejected():
+    original = make_trace()
+    data = trace_to_dict(original)
+    # Orphan every block by pointing the roots at a missing parent.
+    for block in data["blocks"]:
+        block["parent"] = "ff" * 32
+    with pytest.raises(ValueError, match="tree"):
+        trace_from_dict(data)

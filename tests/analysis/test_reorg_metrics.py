@@ -1,0 +1,66 @@
+"""Reorg metrics: detection and depth accounting."""
+
+from repro.analysis.metrics import max_reorg_depth, reorg_events
+from repro.chain.block import genesis_block
+from repro.chain.tree import BlockTree
+from repro.harness import TOBRunConfig, run_tob
+from repro.sleepy.trace import DecisionEvent, Trace
+from repro.workloads import split_vote_attack_scenario
+
+from tests.conftest import extend
+
+
+def test_safe_runs_have_no_reorgs():
+    trace = run_tob(TOBRunConfig(n=8, rounds=20, protocol="resilient", eta=2))
+    assert reorg_events(trace) == []
+    assert max_reorg_depth(trace) == 0
+
+
+def test_attacked_mmr_shows_reorgs():
+    trace = run_tob(split_vote_attack_scenario("mmr", eta=0, pi=1, n=20))
+    events = reorg_events(trace)
+    assert events
+    assert max_reorg_depth(trace) >= 1
+    # Reorgs happen when synchrony resumes and the forked halves re-converge.
+    assert all(event.round >= 11 for event in events)
+
+
+def test_reorg_depth_is_distance_to_fork_point():
+    tree = BlockTree([genesis_block()])
+    main = extend(tree, genesis_block().block_id, 4, salt=0)
+    fork = extend(tree, main[1].block_id, 1, salt=9)
+    trace = Trace(n=2, tree=tree)
+    trace.decisions = [
+        DecisionEvent(pid=0, round=3, view=1, tip=main[3].block_id),  # depth 5
+        DecisionEvent(pid=0, round=5, view=2, tip=fork[0].block_id),  # forks at depth 3
+    ]
+    (event,) = reorg_events(trace)
+    assert event.pid == 0
+    assert event.depth == 2  # abandoned blocks main[2], main[3]
+    assert event.old_tip == main[3].block_id
+    assert event.new_tip == fork[0].block_id
+
+
+def test_extension_decisions_are_not_reorgs():
+    tree = BlockTree([genesis_block()])
+    main = extend(tree, genesis_block().block_id, 3)
+    trace = Trace(n=1, tree=tree)
+    trace.decisions = [
+        DecisionEvent(pid=0, round=3, view=1, tip=main[0].block_id),
+        DecisionEvent(pid=0, round=5, view=2, tip=main[2].block_id),
+    ]
+    assert reorg_events(trace) == []
+
+
+def test_reorgs_tracked_per_process():
+    tree = BlockTree([genesis_block()])
+    left = extend(tree, genesis_block().block_id, 1, salt=1)
+    right = extend(tree, genesis_block().block_id, 1, salt=2)
+    trace = Trace(n=2, tree=tree)
+    trace.decisions = [
+        DecisionEvent(pid=0, round=3, view=1, tip=left[0].block_id),
+        DecisionEvent(pid=1, round=3, view=1, tip=right[0].block_id),  # different pid: no reorg
+        DecisionEvent(pid=1, round=5, view=2, tip=left[0].block_id),  # pid 1 switches: reorg
+    ]
+    events = reorg_events(trace)
+    assert len(events) == 1 and events[0].pid == 1 and events[0].depth == 1

@@ -1,0 +1,30 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_table
+
+
+def test_alignment_and_floats():
+    table = format_table(
+        ["name", "value"],
+        [["alpha", 0.123456], ["b", 12]],
+        title="Demo",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1].startswith("name ")
+    assert "0.1235" in table
+    assert "12" in table
+    # Header separator matches column widths.
+    assert set(lines[2]) <= {"-", " "}
+
+
+def test_booleans_render_as_yes_no():
+    table = format_table(["ok"], [[True], [False]])
+    assert "yes" in table and "no" in table
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError, match="row width"):
+        format_table(["a", "b"], [[1]])

@@ -1,0 +1,53 @@
+"""Blocks: identity, immutability, genesis."""
+
+import pytest
+
+from repro.chain.block import GENESIS_TIP, Block, genesis_block
+from repro.chain.transactions import Transaction
+
+
+def test_block_id_is_deterministic():
+    a = Block(parent=None, proposer=1, view=2)
+    b = Block(parent=None, proposer=1, view=2)
+    assert a.block_id == b.block_id
+
+
+def test_block_id_changes_with_every_field(genesis):
+    base = Block(parent=None, proposer=1, view=2)
+    assert Block(parent=genesis.block_id, proposer=1, view=2).block_id != base.block_id
+    assert Block(parent=None, proposer=2, view=2).block_id != base.block_id
+    assert Block(parent=None, proposer=1, view=3).block_id != base.block_id
+    assert Block(parent=None, proposer=1, view=2, salt=1).block_id != base.block_id
+    tx = Transaction.create(0, 0)
+    assert Block(parent=None, proposer=1, view=2, payload=(tx,)).block_id != base.block_id
+
+
+def test_block_rejects_forged_id():
+    with pytest.raises(ValueError, match="block_id"):
+        Block(parent=None, proposer=1, view=2, block_id="00" * 32)
+
+
+def test_block_accepts_its_own_id_explicitly():
+    a = Block(parent=None, proposer=1, view=2)
+    b = Block(parent=None, proposer=1, view=2, block_id=a.block_id)
+    assert a == b
+
+
+def test_block_is_frozen():
+    block = Block(parent=None, proposer=1, view=2)
+    with pytest.raises(AttributeError):
+        block.view = 3  # type: ignore[misc]
+
+
+def test_genesis_block_is_canonical():
+    assert genesis_block() == genesis_block()
+    assert genesis_block().parent is GENESIS_TIP
+    assert genesis_block().proposer == -1
+    assert genesis_block().view == 0
+    assert genesis_block().payload == ()
+
+
+def test_salt_distinguishes_siblings(genesis):
+    left = Block(parent=genesis.block_id, proposer=3, view=1, salt=1)
+    right = Block(parent=genesis.block_id, proposer=3, view=1, salt=2)
+    assert left.block_id != right.block_id

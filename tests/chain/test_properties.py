@@ -1,0 +1,86 @@
+"""Property-based tests: the prefix order on logs is a tree partial order."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import GENESIS_TIP, Block, genesis_block
+from repro.chain.tree import BlockTree
+
+
+def build_random_tree(structure: list[int]) -> tuple[BlockTree, list]:
+    """Build a tree where block ``i`` attaches under ``structure[i] % (i+1)``.
+
+    Index 0 is the genesis block; ``structure[i] == 0`` attaches to the
+    genesis, larger values attach to earlier random blocks — a standard
+    recursive-tree encoding that covers chains, stars, and everything in
+    between.
+    """
+    tree = BlockTree([genesis_block()])
+    nodes = [genesis_block().block_id]
+    for i, choice in enumerate(structure):
+        parent = nodes[choice % len(nodes)]
+        block = Block(parent=parent, proposer=0, view=i + 1, salt=i)
+        tree.add(block)
+        nodes.append(block.block_id)
+    return tree, nodes
+
+
+tree_structures = st.lists(st.integers(min_value=0, max_value=1_000), min_size=0, max_size=24)
+
+
+@given(tree_structures)
+@settings(max_examples=120)
+def test_prefix_is_reflexive_and_rooted(structure):
+    tree, nodes = build_random_tree(structure)
+    for node in nodes + [GENESIS_TIP]:
+        assert tree.is_prefix(node, node)
+        assert tree.is_prefix(GENESIS_TIP, node)
+
+
+@given(tree_structures, st.data())
+@settings(max_examples=120)
+def test_prefix_antisymmetry_and_transitivity(structure, data):
+    tree, nodes = build_random_tree(structure)
+    universe = nodes + [GENESIS_TIP]
+    a = data.draw(st.sampled_from(universe))
+    b = data.draw(st.sampled_from(universe))
+    c = data.draw(st.sampled_from(universe))
+    if tree.is_prefix(a, b) and tree.is_prefix(b, a):
+        assert a == b
+    if tree.is_prefix(a, b) and tree.is_prefix(b, c):
+        assert tree.is_prefix(a, c)
+
+
+@given(tree_structures, st.data())
+@settings(max_examples=120)
+def test_compatibility_matches_common_prefix(structure, data):
+    tree, nodes = build_random_tree(structure)
+    universe = nodes + [GENESIS_TIP]
+    a = data.draw(st.sampled_from(universe))
+    b = data.draw(st.sampled_from(universe))
+    lcp = tree.common_prefix([a, b])
+    # The common prefix is a prefix of both.
+    assert tree.is_prefix(lcp, a)
+    assert tree.is_prefix(lcp, b)
+    # Logs are compatible iff their common prefix is one of them.
+    assert tree.compatible(a, b) == (lcp in (a, b))
+
+
+@given(tree_structures, st.data())
+@settings(max_examples=120)
+def test_depth_monotone_along_prefix(structure, data):
+    tree, nodes = build_random_tree(structure)
+    universe = nodes + [GENESIS_TIP]
+    a = data.draw(st.sampled_from(universe))
+    b = data.draw(st.sampled_from(universe))
+    if tree.is_prefix(a, b):
+        assert tree.depth(a) <= tree.depth(b)
+        assert tree.ancestor_at_depth(b, tree.depth(a)) == a
+
+
+@given(tree_structures)
+@settings(max_examples=60)
+def test_path_depth_agreement(structure):
+    tree, nodes = build_random_tree(structure)
+    for node in nodes:
+        assert len(tree.path(node)) == tree.depth(node)

@@ -1,0 +1,60 @@
+"""Orphan buffering: out-of-order block arrival."""
+
+from repro.chain.block import Block
+from repro.chain.store import BlockBuffer
+
+
+def _chain_from(genesis, length):
+    blocks = []
+    parent = genesis.block_id
+    for i in range(length):
+        block = Block(parent=parent, proposer=0, view=i + 1)
+        blocks.append(block)
+        parent = block.block_id
+    return blocks
+
+
+def test_in_order_insertion(tree, genesis):
+    buffer = BlockBuffer(tree)
+    blocks = _chain_from(genesis, 3)
+    for block in blocks:
+        inserted = buffer.offer(block)
+        assert inserted == [block.block_id]
+    assert len(buffer) == 0
+
+
+def test_orphans_wait_for_parent(tree, genesis):
+    buffer = BlockBuffer(tree)
+    b1, b2, b3 = _chain_from(genesis, 3)
+    assert buffer.offer(b3) == []
+    assert buffer.offer(b2) == []
+    assert buffer.orphan_ids() == {b2.block_id, b3.block_id}
+    # Parent arrival cascades the whole buffered suffix.
+    inserted = buffer.offer(b1)
+    assert set(inserted) == {b1.block_id, b2.block_id, b3.block_id}
+    assert len(buffer) == 0
+    assert b3.block_id in tree
+
+
+def test_duplicate_offers_are_noops(tree, genesis):
+    buffer = BlockBuffer(tree)
+    (b1,) = _chain_from(genesis, 1)
+    assert buffer.offer(b1) == [b1.block_id]
+    assert buffer.offer(b1) == []
+    b2 = Block(parent=b1.block_id, proposer=0, view=2)
+    b3 = Block(parent=b2.block_id, proposer=0, view=3)
+    assert buffer.offer(b3) == []
+    assert buffer.offer(b3) == []  # buffered twice: still one orphan
+    assert buffer.orphan_ids() == {b3.block_id}
+    assert set(buffer.offer(b2)) == {b2.block_id, b3.block_id}
+
+
+def test_forked_orphans_cascade_together(tree, genesis):
+    buffer = BlockBuffer(tree)
+    parent = Block(parent=genesis.block_id, proposer=0, view=1)
+    left = Block(parent=parent.block_id, proposer=0, view=2, salt=1)
+    right = Block(parent=parent.block_id, proposer=0, view=2, salt=2)
+    buffer.offer(left)
+    buffer.offer(right)
+    inserted = buffer.offer(parent)
+    assert set(inserted) == {parent.block_id, left.block_id, right.block_id}

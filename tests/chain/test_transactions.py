@@ -1,0 +1,52 @@
+"""Transactions, the validity predicate, and the mempool."""
+
+from repro.chain.transactions import Mempool, Transaction, is_valid_transaction
+
+
+def test_created_transactions_are_valid():
+    tx = Transaction.create(3, 7, b"payload")
+    assert is_valid_transaction(tx)
+
+
+def test_tampered_transactions_are_invalid():
+    tx = Transaction.create(3, 7, b"payload")
+    forged = Transaction(sender=3, nonce=8, payload=b"payload", checksum=tx.checksum)
+    assert not is_valid_transaction(forged)
+    forged_payload = Transaction(sender=3, nonce=7, payload=b"other", checksum=tx.checksum)
+    assert not is_valid_transaction(forged_payload)
+
+
+def test_tx_id_unique_per_content():
+    assert Transaction.create(0, 0).tx_id != Transaction.create(0, 1).tx_id
+    assert Transaction.create(0, 0).tx_id == Transaction.create(0, 0).tx_id
+
+
+def test_mempool_rejects_invalid_and_duplicates():
+    pool = Mempool()
+    tx = Transaction.create(0, 0)
+    assert pool.add(tx)
+    assert not pool.add(tx)  # duplicate
+    bad = Transaction(sender=0, nonce=1, payload=b"", checksum="nope")
+    assert not pool.add(bad)
+    assert len(pool) == 1
+
+
+def test_mempool_take_respects_limit_order_and_exclusions():
+    pool = Mempool()
+    txs = [Transaction.create(0, i) for i in range(5)]
+    for tx in txs:
+        pool.add(tx)
+    assert pool.take(3) == tuple(txs[:3])
+    taken = pool.take(10, exclude=frozenset({txs[0].tx_id, txs[2].tx_id}))
+    assert taken == (txs[1], txs[3], txs[4])
+    # take() does not consume.
+    assert len(pool) == 5
+
+
+def test_mempool_mark_included_drops():
+    pool = Mempool()
+    txs = [Transaction.create(0, i) for i in range(3)]
+    for tx in txs:
+        pool.add(tx)
+    pool.mark_included(frozenset({txs[1].tx_id}))
+    assert pool.pending_ids() == {txs[0].tx_id, txs[2].tx_id}

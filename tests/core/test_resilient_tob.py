@@ -1,0 +1,122 @@
+"""The asynchrony-resilient protocol: Theorems 1–3 behaviours."""
+
+import pytest
+
+from repro.analysis.checkers import (
+    check_asynchrony_resilience,
+    check_healing,
+    check_safety,
+)
+from repro.analysis.metrics import decision_gaps
+from repro.harness import TOBRunConfig, run_tob
+from repro.sleepy.adversary import SplitVoteAttack, WithholdingAdversary
+from repro.sleepy.network import WindowedAsynchrony
+
+
+def attack_config(protocol: str, eta: int, pi: int, target: int = 10, n: int = 20) -> TOBRunConfig:
+    """Split-vote attack inside a π-round asynchronous window ending at ``target``."""
+    byz = list(range(n - n // 5, n))
+    return TOBRunConfig(
+        n=n,
+        rounds=target + 14,
+        protocol=protocol,
+        eta=eta,
+        adversary=SplitVoteAttack(byz, target_round=target),
+        network=WindowedAsynchrony(ra=target - pi, pi=pi),
+    )
+
+
+def test_eta_must_be_nonnegative(registry, verifier):
+    from repro.core.resilient_tob import ResilientTOBProcess
+
+    with pytest.raises(ValueError, match="η"):
+        ResilientTOBProcess(0, registry.secret_key(0), verifier, eta=-1)
+
+
+def test_synchronous_behaviour_matches_mmr_exactly():
+    """Under synchrony the modification is invisible: same decisions,
+    same rounds, same logs (the paper's 'matches the latency and
+    throughput of the original protocol')."""
+    base = run_tob(TOBRunConfig(n=8, rounds=30, protocol="mmr"))
+    for eta in (1, 3, 6):
+        modified = run_tob(TOBRunConfig(n=8, rounds=30, protocol="resilient", eta=eta))
+        assert [
+            (d.pid, d.round, d.view, d.tip) for d in modified.decisions
+        ] == [(d.pid, d.round, d.view, d.tip) for d in base.decisions]
+
+
+def test_eta_zero_is_the_original_protocol_under_attack():
+    """η = 0 degenerates to MMR — including its vulnerability."""
+    broken = run_tob(attack_config("resilient", eta=0, pi=1))
+    assert not check_safety(broken).ok
+
+
+def test_theorem2_resilient_for_pi_below_eta():
+    for eta, pi in ((2, 1), (4, 1), (4, 3)):
+        trace = run_tob(attack_config("resilient", eta=eta, pi=pi))
+        assert check_safety(trace).ok, f"safety lost at eta={eta}, pi={pi}"
+        report = check_asynchrony_resilience(trace, ra=10 - pi, pi=pi)
+        assert report.ok, f"resilience lost at eta={eta}, pi={pi}"
+
+
+def test_mmr_breaks_where_resilient_survives():
+    assert not check_safety(run_tob(attack_config("mmr", eta=0, pi=1))).ok
+    assert check_safety(run_tob(attack_config("resilient", eta=2, pi=1))).ok
+
+
+def test_theorem3_healing_after_blackout():
+    """A π-round total blackout: no decisions during it, prompt recovery after."""
+    eta, pi, ra = 4, 3, 9
+    trace = run_tob(
+        TOBRunConfig(
+            n=12,
+            rounds=30,
+            protocol="resilient",
+            eta=eta,
+            adversary=WithholdingAdversary(),
+            network=WindowedAsynchrony(ra=ra, pi=pi),
+        )
+    )
+    assert check_safety(trace).ok
+    report = check_healing(trace, last_async_round=ra + pi, k=1)
+    assert report.ok, (report.first_decision_after, report.rounds_to_decision)
+
+
+def test_decisions_resume_quickly_after_asynchrony():
+    eta, pi, ra = 4, 2, 9
+    trace = run_tob(
+        TOBRunConfig(
+            n=12,
+            rounds=26,
+            protocol="resilient",
+            eta=eta,
+            adversary=WithholdingAdversary(),
+            network=WindowedAsynchrony(ra=ra, pi=pi),
+        )
+    )
+    post = [d.round for d in trace.decisions if d.round > ra + pi]
+    assert post and min(post) <= ra + pi + 4  # within ~1 view of healing
+
+
+def test_resilience_with_blackout_adversary_any_pi_below_eta():
+    """Withholding everything for π < η rounds can never cause a fork."""
+    for pi in (1, 2, 3):
+        trace = run_tob(
+            TOBRunConfig(
+                n=10,
+                rounds=28,
+                protocol="resilient",
+                eta=4,
+                adversary=WithholdingAdversary(),
+                network=WindowedAsynchrony(ra=9, pi=pi),
+            )
+        )
+        assert check_safety(trace).ok
+        assert check_asynchrony_resilience(trace, ra=9, pi=pi).ok
+
+
+def test_latency_unaffected_by_eta_under_synchrony():
+    for eta in (0, 2, 8):
+        trace = run_tob(TOBRunConfig(n=8, rounds=30, protocol="resilient", eta=eta))
+        gaps = decision_gaps(trace)
+        assert gaps and all(gap == 2 for gap in gaps)

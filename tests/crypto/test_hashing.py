@@ -1,0 +1,64 @@
+"""Canonical encoding: injectivity is what unforgeability rests on."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import encode_fields, hash_fields, sha256_hex
+
+
+def test_field_types_are_tagged():
+    # Values that collide under naive str() concatenation must not collide.
+    assert encode_fields(1, 2) != encode_fields(12)
+    assert encode_fields("12") != encode_fields(12)
+    assert encode_fields(b"12") != encode_fields("12")
+    assert encode_fields(None) != encode_fields(0)
+    assert encode_fields("") != encode_fields(b"")
+    assert encode_fields(("a", "b")) != encode_fields("ab")
+
+
+def test_length_prefixing_prevents_concatenation_collisions():
+    assert encode_fields("ab", "c") != encode_fields("a", "bc")
+    assert encode_fields(b"ab", b"c") != encode_fields(b"a", b"bc")
+
+
+def test_nested_tuples_encode_distinctly():
+    assert encode_fields((1, (2, 3))) != encode_fields((1, 2, 3))
+    assert encode_fields(((),)) != encode_fields(())
+
+
+def test_negative_and_large_ints():
+    assert encode_fields(-1) != encode_fields(255)
+    assert encode_fields(2**300) != encode_fields(2**300 + 1)
+
+
+def test_bool_rejected():
+    with pytest.raises(TypeError, match="bool"):
+        encode_fields(True)
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(TypeError, match="unsupported"):
+        encode_fields([1, 2])  # type: ignore[arg-type]
+
+
+def test_hash_fields_is_sha256_of_encoding():
+    assert hash_fields(1, "a") == sha256_hex(encode_fields(1, "a"))
+    assert len(hash_fields(1)) == 64
+
+
+scalar = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**64), max_value=2**64),
+    st.text(max_size=16),
+    st.binary(max_size=16),
+)
+fields = st.lists(scalar, max_size=5).map(tuple)
+
+
+@given(fields, fields)
+def test_encoding_injective_on_random_field_tuples(a, b):
+    if a != b:
+        assert encode_fields(*a) != encode_fields(*b)
+    else:
+        assert encode_fields(*a) == encode_fields(*b)

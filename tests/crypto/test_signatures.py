@@ -1,0 +1,60 @@
+"""Simulated signatures: sign/verify, attribution, unforgeability."""
+
+import pytest
+
+from repro.crypto.signatures import KeyRegistry
+
+
+def test_sign_verify_roundtrip(registry):
+    key = registry.secret_key(3)
+    sig = registry.sign(key, "vote", 7, None)
+    assert registry.verify(3, sig, "vote", 7, None)
+
+
+def test_verification_binds_to_signer(registry):
+    key = registry.secret_key(3)
+    sig = registry.sign(key, "vote", 7)
+    assert not registry.verify(4, sig, "vote", 7)
+
+
+def test_verification_binds_to_message(registry):
+    key = registry.secret_key(3)
+    sig = registry.sign(key, "vote", 7)
+    assert not registry.verify(3, sig, "vote", 8)
+    assert not registry.verify(3, sig, "propose", 7)
+
+
+def test_garbage_signature_rejected(registry):
+    assert not registry.verify(3, "00" * 32, "vote", 7)
+    assert not registry.verify(99, "00" * 32, "vote", 7)  # unknown pid
+
+
+def test_keys_are_deterministic_per_run_seed():
+    a = KeyRegistry(4, run_seed=1)
+    b = KeyRegistry(4, run_seed=1)
+    c = KeyRegistry(4, run_seed=2)
+    assert a.secret_key(0) == b.secret_key(0)
+    assert a.secret_key(0) != c.secret_key(0)
+    assert a.secret_key(0) != a.secret_key(1)
+
+
+def test_signatures_transfer_across_registry_instances():
+    a = KeyRegistry(4, run_seed=1)
+    b = KeyRegistry(4, run_seed=1)
+    sig = a.sign(a.secret_key(2), "hello")
+    assert b.verify(2, sig, "hello")
+
+
+def test_unknown_pid_has_no_key(registry):
+    with pytest.raises(ValueError, match="unknown process"):
+        registry.secret_key(registry.n)
+
+
+def test_registry_requires_processes():
+    with pytest.raises(ValueError):
+        KeyRegistry(0)
+
+
+def test_secret_repr_does_not_leak_seed(registry):
+    key = registry.secret_key(1)
+    assert key.seed.hex() not in repr(key)

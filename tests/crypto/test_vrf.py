@@ -1,0 +1,63 @@
+"""Simulated VRF: determinism, verifiability, uniformity, unforgeability."""
+
+from repro.crypto.signatures import KeyRegistry
+from repro.crypto.vrf import VRFOutput, evaluate_vrf, sortition_value, verify_vrf
+
+
+def test_vrf_is_deterministic(registry):
+    key = registry.secret_key(5)
+    a = evaluate_vrf(registry, key, 3)
+    b = evaluate_vrf(registry, key, 3)
+    assert a == b
+
+
+def test_vrf_varies_with_input_and_key(registry):
+    key5, key6 = registry.secret_key(5), registry.secret_key(6)
+    assert evaluate_vrf(registry, key5, 3) != evaluate_vrf(registry, key5, 4)
+    assert evaluate_vrf(registry, key5, 3) != evaluate_vrf(registry, key6, 3)
+
+
+def test_vrf_verifies(registry):
+    key = registry.secret_key(5)
+    output = evaluate_vrf(registry, key, 3)
+    assert verify_vrf(registry, 5, 3, output)
+
+
+def test_vrf_rejects_wrong_claims(registry):
+    key = registry.secret_key(5)
+    output = evaluate_vrf(registry, key, 3)
+    assert not verify_vrf(registry, 6, 3, output)  # wrong process
+    assert not verify_vrf(registry, 5, 4, output)  # wrong input
+    forged_value = VRFOutput(value_num=output.value_num ^ 1, proof=output.proof)
+    assert not verify_vrf(registry, 5, 3, forged_value)  # tampered value
+    forged_proof = VRFOutput(value_num=output.value_num, proof="00" * 32)
+    assert not verify_vrf(registry, 5, 3, forged_proof)  # tampered proof
+
+
+def test_vrf_value_in_unit_interval(registry):
+    for pid in range(8):
+        output = evaluate_vrf(registry, registry.secret_key(pid), 1)
+        assert 0.0 <= output.value < 1.0
+
+
+def test_vrf_values_look_uniform():
+    """Coarse uniformity: over many (pid, view) samples the mean is ~1/2.
+
+    This is a smoke test of the random-oracle substitution, not a
+    statistical acceptance test; bounds are deliberately loose.
+    """
+    registry = KeyRegistry(64, run_seed=11)
+    values = [
+        evaluate_vrf(registry, registry.secret_key(pid), view).value
+        for pid in range(64)
+        for view in range(8)
+    ]
+    mean = sum(values) / len(values)
+    assert 0.45 < mean < 0.55
+    assert min(values) < 0.1 and max(values) > 0.9
+
+
+def test_sortition_ranking_is_exact(registry):
+    a = evaluate_vrf(registry, registry.secret_key(0), 1)
+    b = evaluate_vrf(registry, registry.secret_key(1), 1)
+    assert (sortition_value(a) > sortition_value(b)) == (a.value_num > b.value_num)

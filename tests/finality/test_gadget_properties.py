@@ -1,0 +1,77 @@
+"""Property-based finality-gadget invariants under random ack streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import GENESIS_TIP
+from repro.finality.gadget import FinalityGadget
+
+from tests.chain.test_properties import build_random_tree
+
+tree_structures = st.lists(st.integers(min_value=0, max_value=1_000), min_size=1, max_size=10)
+ack_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=8),  # sender
+        st.integers(min_value=0, max_value=20),  # round tag
+        st.integers(min_value=0, max_value=1_000),  # tip selector
+    ),
+    max_size=60,
+)
+
+
+def replay(structure, acks):
+    tree, nodes = build_random_tree(structure)
+    universe = nodes + [GENESIS_TIP]
+    gadget = FinalityGadget(9, tree)
+    history = [gadget.finalized_tip]
+    for sender, round_tag, selector in acks:
+        gadget.record_ack(sender, round_tag, universe[selector % len(universe)])
+        gadget.advance(round_tag)
+        history.append(gadget.finalized_tip)
+    return tree, gadget, history
+
+
+@given(tree_structures, ack_streams)
+@settings(max_examples=150, deadline=None)
+def test_finalized_prefix_only_ever_extends(structure, acks):
+    tree, _, history = replay(structure, acks)
+    for earlier, later in zip(history, history[1:]):
+        assert tree.is_prefix(earlier, later)
+
+
+@given(tree_structures, ack_streams)
+@settings(max_examples=150, deadline=None)
+def test_finalization_is_quorum_justified(structure, acks):
+    """Whenever the finalised tip advances, strictly more than 2/3 of all
+    processes' latest visible acks extend the new tip at that moment."""
+    from repro.core.expiration import LatestVoteStore
+
+    tree, nodes = build_random_tree(structure)
+    universe = nodes + [GENESIS_TIP]
+    gadget = FinalityGadget(9, tree)
+    mirror = LatestVoteStore()
+    for sender, round_tag, selector in acks:
+        tip = universe[selector % len(universe)]
+        gadget.record_ack(sender, round_tag, tip)
+        mirror.record(sender, round_tag, tip)
+        before = gadget.finalized_tip
+        event = gadget.advance(round_tag)
+        if event is not None:
+            assert tree.is_prefix(before, event.tip) and event.tip != before
+            visible = mirror.latest(0, round_tag)
+            supporters = sum(
+                1 for t in visible.values() if t in tree and tree.is_prefix(event.tip, t)
+            )
+            assert supporters * 3 > 2 * 9, (supporters, event)
+
+
+@given(tree_structures, ack_streams)
+@settings(max_examples=100, deadline=None)
+def test_advance_is_idempotent_without_new_acks(structure, acks):
+    _, gadget, _ = replay(structure, acks)
+    tip_before = gadget.finalized_tip
+    assert gadget.advance(50) is None or gadget.finalized_tip != tip_before
+    # Calling again with no new information changes nothing further.
+    settled = gadget.finalized_tip
+    assert gadget.advance(50) is None
+    assert gadget.finalized_tip == settled

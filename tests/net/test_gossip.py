@@ -1,0 +1,87 @@
+"""Gossip overlay: flooding, deduplication, sender-sleep survival."""
+
+import asyncio
+
+from repro.crypto.signatures import KeyRegistry
+from repro.net.gossip import GossipNetwork, regular_topology
+from repro.net.transport import SimTransport
+from repro.sleepy.messages import make_vote
+
+
+def test_regular_topology_is_connected_and_regular():
+    topology = regular_topology(12, degree=4, seed=1)
+    assert set(topology) == set(range(12))
+    for pid, neighbors in topology.items():
+        assert len(neighbors) == 4
+        assert pid not in neighbors
+        for q in neighbors:
+            assert pid in topology[q]  # undirected
+
+
+def test_tiny_networks_fall_back_to_complete_graph():
+    topology = regular_topology(3, degree=4)
+    assert topology[0] == (1, 2)
+    assert topology[2] == (0, 1)
+
+
+def _flood_scenario(n: int, degree: int, publisher: int = 0):
+    async def scenario():
+        registry = KeyRegistry(n, run_seed=0)
+        transport = SimTransport(n, base_latency_s=0.001, jitter_s=0.001, seed=0)
+        delivered: dict[int, list] = {pid: [] for pid in range(n)}
+        network = GossipNetwork(
+            transport,
+            regular_topology(n, degree, seed=0),
+            on_deliver=lambda pid, m: delivered[pid].append(m.message_id),
+        )
+        transport.start()
+        network.start()
+        vote = make_vote(registry, registry.secret_key(publisher), 0, None)
+        network.nodes[publisher].publish(vote)
+        await asyncio.sleep(0.1)  # >> diameter · latency
+        await network.stop()
+        return delivered, vote
+
+    return asyncio.run(scenario())
+
+
+def test_published_message_floods_every_node():
+    delivered, vote = _flood_scenario(n=12, degree=3)
+    for pid in range(12):
+        assert delivered[pid] == [vote.message_id]
+
+
+def test_each_node_delivers_each_message_exactly_once():
+    delivered, vote = _flood_scenario(n=8, degree=4)
+    for messages in delivered.values():
+        assert messages.count(vote.message_id) == 1
+
+
+def test_dissemination_survives_publisher_silence():
+    """Once published, the message spreads without further publisher help —
+    the paper's 'messages are disseminated even if the sender sleeps'."""
+
+    async def scenario():
+        n = 10
+        registry = KeyRegistry(n, run_seed=0)
+        transport = SimTransport(n, base_latency_s=0.001, jitter_s=0.0, seed=0)
+        delivered: dict[int, list] = {pid: [] for pid in range(n)}
+        network = GossipNetwork(
+            transport,
+            regular_topology(n, 3, seed=0),
+            on_deliver=lambda pid, m: delivered[pid].append(m.message_id),
+        )
+        transport.start()
+        network.start()
+        vote = make_vote(registry, registry.secret_key(0), 0, None)
+        network.nodes[0].publish(vote)
+        # Kill the publisher's pump immediately: its own forwards were
+        # already sent; the rest of the overlay must finish the flood.
+        await network.nodes[0].stop()
+        await asyncio.sleep(0.1)
+        await network.stop()
+        return delivered, vote
+
+    delivered, vote = asyncio.run(scenario())
+    for pid in range(10):
+        assert vote.message_id in delivered[pid]

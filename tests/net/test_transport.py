@@ -1,0 +1,76 @@
+"""Asyncio transport: delivery, latency, surge windows."""
+
+import asyncio
+
+import pytest
+
+from repro.net.transport import SimTransport, SurgeWindow
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_messages_arrive_in_order_per_link():
+    async def scenario():
+        transport = SimTransport(2, base_latency_s=0.001, jitter_s=0.0, seed=0)
+        transport.start()
+        for i in range(5):
+            transport.send(0, 1, i)
+        received = [await transport.recv(1) for _ in range(5)]
+        return received
+
+    received = run(scenario())
+    assert received == [(0, i) for i in range(5)]
+
+
+def test_send_before_start_rejected():
+    transport = SimTransport(2)
+    with pytest.raises(RuntimeError, match="not started"):
+        transport.send(0, 1, "x")
+
+
+def test_latency_respects_surge_windows():
+    surge = SurgeWindow(start_s=1.0, end_s=2.0, factor=10.0)
+    transport = SimTransport(2, base_latency_s=0.010, jitter_s=0.0, seed=0, surges=(surge,))
+    assert transport.latency(0.5) == pytest.approx(0.010)
+    assert transport.latency(1.5) == pytest.approx(0.100)
+    assert transport.latency(2.5) == pytest.approx(0.010)
+
+
+def test_jitter_is_seeded():
+    a = SimTransport(2, base_latency_s=0.001, jitter_s=0.005, seed=3)
+    b = SimTransport(2, base_latency_s=0.001, jitter_s=0.005, seed=3)
+    assert [a.latency(0) for _ in range(5)] == [b.latency(0) for _ in range(5)]
+
+
+def test_surged_message_is_delayed_not_dropped():
+    async def scenario():
+        surge = SurgeWindow(start_s=0.0, end_s=0.05, factor=20.0)
+        transport = SimTransport(2, base_latency_s=0.005, jitter_s=0.0, seed=0, surges=(surge,))
+        transport.start()
+        transport.send(0, 1, "slow")  # 0.1 s latency under the surge
+        with pytest.raises(asyncio.TimeoutError):
+            await asyncio.wait_for(transport.recv(1), timeout=0.04)
+        src, payload = await asyncio.wait_for(transport.recv(1), timeout=0.2)
+        return payload
+
+    assert run(scenario()) == "slow"
+
+
+def test_counts_sent_messages():
+    async def scenario():
+        transport = SimTransport(3)
+        transport.start()
+        transport.send(0, 1, "a")
+        transport.send(0, 2, "b")
+        return transport.sent_count
+
+    assert run(scenario()) == 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SimTransport(0)
+    with pytest.raises(ValueError):
+        SimTransport(2, base_latency_s=-1.0)

@@ -1,0 +1,118 @@
+"""The Algorithm 1 state machine: message cadence, decisions, proposals."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.chain.block import genesis_block
+from repro.chain.transactions import Transaction
+from repro.harness import TOBRunConfig, build_simulation, run_tob
+from repro.sleepy.messages import ProposeMessage, VoteMessage
+
+
+def test_view_zero_sends_genesis_proposal():
+    sim = build_simulation(TOBRunConfig(n=3, rounds=1, protocol="mmr"))
+    process = sim.processes[0]
+    messages = process.send(0)
+    assert len(messages) == 1
+    (propose,) = messages
+    assert isinstance(propose, ProposeMessage)
+    assert propose.view == 1
+    assert propose.block == genesis_block()
+
+
+def test_round_one_sends_single_vote():
+    sim = build_simulation(TOBRunConfig(n=3, rounds=4, protocol="mmr"))
+    sim.run(1)  # round 0 completes with its receive phase
+    messages = sim.processes[0].send(1)
+    assert len(messages) == 1
+    assert isinstance(messages[0], VoteMessage)
+    # Everyone proposed [b0] for view 1, so the vote is for [b0].
+    assert messages[0].tip == genesis_block().block_id
+
+
+def test_round_two_sends_vote_and_proposal():
+    sim = build_simulation(TOBRunConfig(n=3, rounds=4, protocol="mmr"))
+    sim.run(2)  # rounds 0-1 complete
+    messages = sim.processes[0].send(2)
+    kinds = sorted(type(m).__name__ for m in messages)
+    assert kinds == ["ProposeMessage", "VoteMessage"]
+    propose = next(m for m in messages if isinstance(m, ProposeMessage))
+    assert propose.view == 2
+    # The view-2 proposal extends C_1 = [b0].
+    assert propose.block.parent == genesis_block().block_id
+
+
+def test_decisions_happen_at_view_boundaries():
+    trace = run_tob(TOBRunConfig(n=4, rounds=12, protocol="mmr"))
+    assert trace.decisions, "synchronous fault-free run must decide"
+    assert all(d.round % 2 == 1 for d in trace.decisions)
+    # First possible decision: round 3 (outputs of GA_{1,2}).
+    assert min(d.round for d in trace.decisions) == 3
+    # Every process decides at every view boundary from round 3 on.
+    deciders_at_3 = {d.pid for d in trace.decisions if d.round == 3}
+    assert deciders_at_3 == set(range(4))
+
+
+def test_chain_grows_one_block_per_view():
+    trace = run_tob(TOBRunConfig(n=4, rounds=20, protocol="mmr"))
+    final_tip = max((d.tip for d in trace.decisions), key=trace.tree.depth)
+    # Round 2v−1 decides the view-(v−1) proposal, whose log holds the
+    # genesis block plus one block per view 1..v−2 — depth v−1.  The
+    # last decision round in 20 rounds is r=19 (v=10): depth 9.
+    assert trace.tree.depth(final_tip) == 9
+
+
+def test_delivered_logs_extend_monotonically():
+    sim = build_simulation(TOBRunConfig(n=4, rounds=16, protocol="mmr"))
+    previous_tips: dict[int, object] = {}
+    for _ in range(16):
+        sim.run(1)
+        for pid, process in sim.processes.items():
+            tip = process.delivered_tip
+            if pid in previous_tips:
+                assert sim.trace.tree.is_prefix(previous_tips[pid], tip)
+            previous_tips[pid] = tip
+
+
+def test_transactions_flow_into_decided_blocks():
+    txs = [Transaction.create(9, nonce) for nonce in range(3)]
+    trace = run_tob(
+        TOBRunConfig(n=4, rounds=14, protocol="mmr", transactions={4: txs})
+    )
+    deepest = max((d.tip for d in trace.decisions), key=trace.tree.depth)
+    included = trace.tree.payload_ids(deepest)
+    for tx in txs:
+        assert tx.tx_id in included
+
+
+def test_transactions_not_duplicated_across_blocks():
+    txs = [Transaction.create(9, nonce) for nonce in range(3)]
+    trace = run_tob(
+        TOBRunConfig(n=4, rounds=20, protocol="mmr", transactions={4: txs})
+    )
+    deepest = max((d.tip for d in trace.decisions), key=trace.tree.depth)
+    all_txs = [
+        tx.tx_id for block_id in trace.tree.path(deepest) for tx in trace.tree.get(block_id).payload
+    ]
+    assert len(all_txs) == len(set(all_txs))
+
+
+def test_decision_events_deduplicate_prefix_redeliveries():
+    trace = run_tob(TOBRunConfig(n=4, rounds=16, protocol="mmr"))
+    for pid in range(4):
+        tips = [d.tip for d in trace.decisions_by(pid)]
+        assert len(tips) == len(set(tips))
+        depths = [trace.tree.depth(t) for t in tips]
+        assert depths == sorted(depths)
+
+
+def test_beta_parameter_flows_through():
+    trace = run_tob(TOBRunConfig(n=8, rounds=12, protocol="mmr", beta=Fraction(1, 4)))
+    assert trace.decisions  # fault-free: stricter quorum still decides
+    assert trace.meta["beta"] == Fraction(1, 4)
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError, match="unknown protocol"):
+        build_simulation(TOBRunConfig(n=2, rounds=1, protocol="pbft"))

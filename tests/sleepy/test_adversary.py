@@ -1,0 +1,108 @@
+"""Adversary strategies and context permissions."""
+
+import pytest
+
+from repro.chain.block import genesis_block
+from repro.chain.tree import BlockTree
+from repro.crypto.signatures import KeyRegistry
+from repro.sleepy.adversary import (
+    AdversaryContext,
+    CrashAdversary,
+    EquivocatingVoteAdversary,
+    NullAdversary,
+    SplitVoteAttack,
+    StaticVoteAdversary,
+    WithholdingAdversary,
+)
+from repro.sleepy.messages import ProposeMessage, VoteMessage, verify_message
+
+
+@pytest.fixture
+def ctx(registry):
+    context = AdversaryContext(registry, BlockTree([genesis_block()]))
+    context.grant_key(0)
+    context.grant_key(1)
+    return context
+
+
+def test_context_denies_honest_keys(ctx):
+    with pytest.raises(PermissionError):
+        ctx.key_of(5)
+
+
+def test_crafted_messages_verify(ctx, registry):
+    vote = ctx.craft_vote(0, 3, None)
+    assert verify_message(registry, vote)
+    block = ctx.craft_block(1, view=2, parent=genesis_block().block_id)
+    propose = ctx.craft_propose(1, 3, 2, block)
+    assert verify_message(registry, propose)
+    assert block.block_id in ctx.tree
+
+
+def test_deepest_tip_tracks_tree(ctx):
+    assert ctx.deepest_tip() == genesis_block().block_id
+    block = ctx.craft_block(0, view=1, parent=genesis_block().block_id)
+    assert ctx.deepest_tip() == block.block_id
+
+
+def test_null_and_crash_adversaries():
+    assert NullAdversary().byzantine(5) == frozenset()
+    crash = CrashAdversary([1, 2], from_round=3)
+    assert crash.byzantine(2) == frozenset()
+    assert crash.byzantine(3) == frozenset({1, 2})
+    assert crash.send(3, None) == ()
+
+
+def test_static_vote_adversary_votes_every_round(ctx):
+    adversary = StaticVoteAdversary([0, 1])
+    messages = adversary.send(4, ctx)
+    assert len(messages) == 2
+    assert all(isinstance(m, VoteMessage) and m.round == 4 for m in messages)
+    assert {m.sender for m in messages} == {0, 1}
+
+
+def test_equivocating_adversary_sends_two_conflicting_votes(ctx):
+    adversary = EquivocatingVoteAdversary([0, 1])
+    messages = adversary.send(2, ctx)
+    votes = [m for m in messages if isinstance(m, VoteMessage)]
+    proposes = [m for m in messages if isinstance(m, ProposeMessage)]
+    assert len(votes) == 4 and len(proposes) == 4
+    by_sender = {}
+    for vote in votes:
+        by_sender.setdefault(vote.sender, set()).add(vote.tip)
+    for tips in by_sender.values():
+        assert len(tips) == 2
+        a, b = tips
+        assert ctx.tree.conflict(a, b)
+
+
+def test_withholding_adversary_blacks_out(ctx):
+    adversary = WithholdingAdversary()
+    assert adversary.deliver(3, 0, ["anything"], ctx) == ()
+
+
+def test_split_vote_attack_requires_decision_round():
+    with pytest.raises(ValueError):
+        SplitVoteAttack([0], target_round=3)  # odd round
+    with pytest.raises(ValueError):
+        SplitVoteAttack([0], target_round=0)
+
+
+def test_split_vote_attack_partitions_delivery(ctx):
+    adversary = SplitVoteAttack([0, 1], target_round=4)
+    assert adversary.send(2, ctx) == ()  # silent outside the attack round
+    messages = list(adversary.send(4, ctx))
+    votes = [m for m in messages if isinstance(m, VoteMessage)]
+    tips = {v.tip for v in votes}
+    assert len(tips) == 2
+
+    group0 = adversary.deliver(4, receiver=2, deliverable=messages, ctx=ctx)
+    group1 = adversary.deliver(4, receiver=3, deliverable=messages, ctx=ctx)
+    tips0 = {m.tip for m in group0 if isinstance(m, VoteMessage)}
+    tips1 = {m.tip for m in group1 if isinstance(m, VoteMessage)}
+    assert len(tips0) == 1 and len(tips1) == 1
+    assert tips0 != tips1
+    # Each group also gets the propose carrying its block.
+    assert any(isinstance(m, ProposeMessage) for m in group0)
+    # Outside the attack round delivery is unrestricted.
+    assert adversary.deliver(6, receiver=2, deliverable=messages, ctx=ctx) == messages

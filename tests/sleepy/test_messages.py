@@ -1,0 +1,92 @@
+"""Signed messages: identity, verification, adversarial tampering."""
+
+from repro.chain.block import Block, genesis_block
+from repro.sleepy.messages import (
+    CachedVerifier,
+    ProposeMessage,
+    VoteMessage,
+    make_propose,
+    make_vote,
+    verify_message,
+)
+
+
+def test_vote_roundtrip(registry, genesis):
+    key = registry.secret_key(2)
+    vote = make_vote(registry, key, 5, genesis.block_id)
+    assert vote.sender == 2
+    assert vote.round == 5
+    assert vote.tip == genesis.block_id
+    assert verify_message(registry, vote)
+
+
+def test_vote_for_empty_log(registry):
+    vote = make_vote(registry, registry.secret_key(0), 1, None)
+    assert vote.tip is None
+    assert verify_message(registry, vote)
+
+
+def test_tampered_vote_rejected(registry, genesis):
+    key = registry.secret_key(2)
+    vote = make_vote(registry, key, 5, genesis.block_id)
+    other = Block(parent=genesis.block_id, proposer=9, view=1)
+    tampered = VoteMessage(sender=2, round=5, signature=vote.signature, tip=other.block_id)
+    assert not verify_message(registry, tampered)
+    resender = VoteMessage(sender=3, round=5, signature=vote.signature, tip=vote.tip)
+    assert not verify_message(registry, resender)
+    replayed = VoteMessage(sender=2, round=6, signature=vote.signature, tip=vote.tip)
+    assert not verify_message(registry, replayed)
+
+
+def test_propose_roundtrip(registry, genesis):
+    key = registry.secret_key(4)
+    block = Block(parent=genesis.block_id, proposer=4, view=3)
+    propose = make_propose(registry, key, 4, view=3, block=block)
+    assert propose.tip == block.block_id
+    assert verify_message(registry, propose)
+
+
+def test_propose_with_wrong_vrf_rejected(registry, genesis):
+    key4, key5 = registry.secret_key(4), registry.secret_key(5)
+    block = Block(parent=genesis.block_id, proposer=4, view=3)
+    honest = make_propose(registry, key4, 4, view=3, block=block)
+    stolen = make_propose(registry, key5, 4, view=3, block=block)
+    # Graft pid 5's (valid) VRF onto pid 4's proposal: signature breaks.
+    grafted = ProposeMessage(
+        sender=4,
+        round=4,
+        signature=honest.signature,
+        view=3,
+        block=block,
+        vrf=stolen.vrf,
+    )
+    assert not verify_message(registry, grafted)
+
+
+def test_propose_requires_block_and_vrf(registry):
+    bogus = ProposeMessage(sender=0, round=0, signature="00", view=1, block=None, vrf=None)
+    assert not verify_message(registry, bogus)
+
+
+def test_message_ids_unique(registry, genesis):
+    key = registry.secret_key(1)
+    a = make_vote(registry, key, 1, genesis.block_id)
+    b = make_vote(registry, key, 2, genesis.block_id)
+    c = make_vote(registry, key, 1, None)
+    assert len({a.message_id, b.message_id, c.message_id}) == 3
+    assert a.message_id == make_vote(registry, key, 1, genesis.block_id).message_id
+
+
+def test_cached_verifier_matches_uncached(registry, genesis):
+    verifier = CachedVerifier(registry)
+    vote = make_vote(registry, registry.secret_key(0), 1, genesis.block_id)
+    bad = VoteMessage(sender=1, round=1, signature=vote.signature, tip=vote.tip)
+    for _ in range(2):  # second pass exercises the memo
+        assert verifier.verify(vote) is True
+        assert verifier.verify(bad) is False
+
+
+def test_genesis_propose_verifies(registry):
+    # View-0 behaviour of Algorithm 1: propose [b0] with VRF(1).
+    propose = make_propose(registry, registry.secret_key(0), 0, view=1, block=genesis_block())
+    assert verify_message(registry, propose)

@@ -1,0 +1,110 @@
+"""Sleep schedules: shapes, bounds, determinism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sleepy.schedule import (
+    DiurnalSchedule,
+    FullParticipation,
+    RandomChurnSchedule,
+    SpikeSchedule,
+    TableSchedule,
+)
+
+
+def test_full_participation():
+    schedule = FullParticipation(5)
+    assert schedule.awake(0) == frozenset(range(5))
+    assert schedule.awake(100) == frozenset(range(5))
+    assert schedule.awake_union(0, 10) == frozenset(range(5))
+
+
+def test_table_schedule_with_default():
+    schedule = TableSchedule(4, {2: {0, 1}}, default={0, 1, 2, 3})
+    assert schedule.awake(0) == frozenset({0, 1, 2, 3})
+    assert schedule.awake(2) == frozenset({0, 1})
+    assert schedule.awake_union(1, 3) == frozenset({0, 1, 2, 3})
+
+
+def test_table_schedule_rejects_unknown_pids():
+    with pytest.raises(ValueError, match="unknown process"):
+        TableSchedule(2, {0: {5}})
+
+
+def test_awake_union_ignores_negative_rounds():
+    schedule = TableSchedule(3, {0: {0}}, default={1})
+    assert schedule.awake_union(-5, 0) == frozenset({0})
+
+
+def test_spike_schedule_drops_and_recovers():
+    schedule = SpikeSchedule(10, drop_fraction=0.6, start=5, duration=3)
+    assert len(schedule.awake(4)) == 10
+    assert len(schedule.awake(5)) == 4
+    assert len(schedule.awake(7)) == 4
+    assert len(schedule.awake(8)) == 10
+
+
+def test_spike_validation():
+    with pytest.raises(ValueError):
+        SpikeSchedule(10, drop_fraction=1.5, start=0, duration=1)
+    with pytest.raises(ValueError):
+        SpikeSchedule(10, drop_fraction=0.5, start=0, duration=-1)
+
+
+def test_diurnal_oscillates_between_bounds():
+    schedule = DiurnalSchedule(20, period=10, min_fraction=0.3, max_fraction=1.0)
+    sizes = [len(schedule.awake(r)) for r in range(20)]
+    assert max(sizes) == 20  # peak at phase 0
+    assert min(sizes) >= 6  # floor at min_fraction
+    assert min(sizes) <= 7  # trough reaches the configured floor
+
+
+def test_diurnal_window_drifts():
+    schedule = DiurnalSchedule(10, period=8, min_fraction=0.5, max_fraction=0.5, drift=1)
+    assert schedule.awake(0) != schedule.awake(3)
+
+
+def test_random_churn_is_deterministic_and_bounded():
+    a = RandomChurnSchedule(20, churn_per_round=0.1, seed=3)
+    b = RandomChurnSchedule(20, churn_per_round=0.1, seed=3)
+    for r in range(30):
+        assert a.awake(r) == b.awake(r)
+    c = RandomChurnSchedule(20, churn_per_round=0.1, seed=4)
+    assert any(a.awake(r) != c.awake(r) for r in range(30))
+
+
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    churn=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_churn_respects_per_round_sleep_bound(n, churn, seed):
+    schedule = RandomChurnSchedule(n, churn_per_round=churn, seed=seed, min_awake=1)
+    for r in range(15):
+        now = schedule.awake(r)
+        nxt = schedule.awake(r + 1)
+        slept = len(now - nxt)
+        assert slept <= int(churn * len(now))
+        assert len(nxt) >= 1
+
+
+def test_random_churn_respects_min_awake():
+    schedule = RandomChurnSchedule(10, churn_per_round=1.0, wake_probability=0.0, min_awake=4, seed=0)
+    for r in range(20):
+        assert len(schedule.awake(r)) >= 4
+
+
+def test_random_churn_validation():
+    with pytest.raises(ValueError):
+        RandomChurnSchedule(5, churn_per_round=2.0)
+    with pytest.raises(ValueError):
+        RandomChurnSchedule(5, churn_per_round=0.1, min_awake=9)
+    with pytest.raises(ValueError):
+        RandomChurnSchedule(5, churn_per_round=0.1, initial_awake=frozenset())
+
+
+def test_schedules_require_processes():
+    with pytest.raises(ValueError):
+        FullParticipation(0)

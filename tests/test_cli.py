@@ -1,0 +1,81 @@
+"""CLI commands: parse, run, and print sane tables."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_figure1_prints_curve(capsys):
+    assert main(["figure1", "--points", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "0.3333" in out  # β̃(0) = 1/3
+
+
+def test_run_reports_safety(capsys):
+    assert main(["run", "--n", "6", "--rounds", "12", "--protocol", "mmr"]) == 0
+    out = capsys.readouterr().out
+    assert "Run summary" in out
+    assert "safety" in out and "yes" in out
+
+
+def test_attack_compares_protocols(capsys):
+    assert main(["attack", "--n", "20", "--pi", "1", "--eta", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "mmr (η=0)" in out and "resilient (η=2)" in out
+    # The baseline forks; the modified protocol does not.
+    mmr_line = next(line for line in out.splitlines() if line.startswith("mmr"))
+    resilient_line = next(line for line in out.splitlines() if line.startswith("resilient"))
+    assert "no" in mmr_line.split()
+    assert "no" not in resilient_line.split()
+
+
+def test_run_with_timeline_and_save(capsys, tmp_path):
+    target = tmp_path / "run.json"
+    assert main(
+        ["run", "--n", "5", "--rounds", "10", "--timeline", "--save", str(target)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "|O_r|" in out  # the strip chart header
+    assert target.exists()
+    from repro.analysis import check_safety, load_trace
+
+    assert check_safety(load_trace(target)).ok
+
+
+def test_outage_runs(capsys):
+    assert main(["outage", "--n", "20", "--duration", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "outage" in out.lower()
+
+
+def test_tune_eta_table(capsys):
+    assert main(["tune-eta", "--churn-per-round", "0.02", "--n", "48"]) == 0
+    out = capsys.readouterr().out
+    assert "η menu" in out
+    assert "15" in out  # π for η = 16
+
+
+def test_deploy_smoke(capsys):
+    assert main(["deploy", "--n", "4", "--rounds", "8", "--delta-ms", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "Deployment summary" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "figure1", "--points", "3"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert "Figure 1" in result.stdout

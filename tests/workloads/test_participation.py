@@ -1,0 +1,86 @@
+"""Participation workloads produce schedules with the promised shapes."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.assumptions import check_churn
+from repro.harness import TOBRunConfig, run_tob
+from repro.workloads.participation import (
+    RampSchedule,
+    churn_walk,
+    diurnal,
+    ethereum_may_2023,
+    outage,
+    stable,
+)
+
+
+def test_stable_is_full_participation():
+    schedule = stable(7)
+    assert schedule.awake(0) == frozenset(range(7))
+    assert schedule.awake(99) == frozenset(range(7))
+
+
+def test_churn_walk_satisfies_equation1_on_executed_trace():
+    """The generator is conservative: Eq. 1 must validate on a real run."""
+    eta, gamma = 4, 0.25
+    trace = run_tob(
+        TOBRunConfig(
+            n=30,
+            rounds=40,
+            protocol="resilient",
+            eta=eta,
+            schedule=churn_walk(30, eta, gamma, seed=5),
+        )
+    )
+    report = check_churn(trace, eta=eta, gamma=Fraction(1, 4))
+    assert report.ok, report.failures[:3]
+
+
+def test_churn_walk_actually_churns():
+    schedule = churn_walk(30, eta=4, gamma=0.3, seed=1)
+    sets = {schedule.awake(r) for r in range(25)}
+    assert len(sets) > 1
+
+
+def test_churn_walk_validation():
+    with pytest.raises(ValueError, match="η"):
+        churn_walk(10, eta=-1, gamma=0.1)
+
+
+def test_outage_shape():
+    schedule = outage(10, fraction=0.6, start=5, duration=4)
+    assert len(schedule.awake(4)) == 10
+    assert len(schedule.awake(5)) == 4
+    assert len(schedule.awake(9)) == 10
+
+
+def test_ethereum_outage_drops_sixty_percent():
+    schedule = ethereum_may_2023(100, start=10, duration=20)
+    assert len(schedule.awake(9)) == 100
+    assert len(schedule.awake(10)) == 40
+    assert len(schedule.awake(30)) == 100
+
+
+def test_diurnal_smoke():
+    schedule = diurnal(20, period=12, min_fraction=0.4)
+    sizes = {len(schedule.awake(r)) for r in range(12)}
+    assert min(sizes) >= 8 and max(sizes) == 20
+
+
+def test_ramp_schedule_declines_linearly_to_floor():
+    schedule = RampSchedule(10, floor_fraction=0.3, start=4, length=7)
+    sizes = [len(schedule.awake(r)) for r in range(16)]
+    assert sizes[:4] == [10] * 4
+    assert sizes[4] == 10  # progress 0 at the start round
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    assert sizes[11] == 3  # reached the floor
+    assert sizes[15] == 3  # stays there
+
+
+def test_ramp_validation():
+    with pytest.raises(ValueError):
+        RampSchedule(10, floor_fraction=0.0, start=0, length=5)
+    with pytest.raises(ValueError):
+        RampSchedule(10, floor_fraction=0.5, start=0, length=0)

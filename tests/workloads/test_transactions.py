@@ -1,0 +1,45 @@
+"""Transaction streams: reproducibility and validity."""
+
+import pytest
+
+from repro.chain.transactions import is_valid_transaction
+from repro.workloads.transactions import burst_stream, constant_rate_stream
+
+
+def test_constant_rate_counts():
+    stream = constant_rate_stream(rate_per_round=3, rounds=5, seed=1)
+    assert set(stream) == set(range(5))
+    assert all(len(txs) == 3 for txs in stream.values())
+
+
+def test_all_generated_transactions_valid():
+    stream = constant_rate_stream(rate_per_round=2, rounds=4, seed=2)
+    for txs in stream.values():
+        assert all(is_valid_transaction(tx) for tx in txs)
+
+
+def test_streams_are_reproducible_and_seed_sensitive():
+    a = constant_rate_stream(2, 3, seed=7)
+    b = constant_rate_stream(2, 3, seed=7)
+    c = constant_rate_stream(2, 3, seed=8)
+    assert a == b
+    assert a != c
+
+
+def test_nonces_unique_across_stream():
+    stream = constant_rate_stream(4, 6, seed=0)
+    ids = [tx.tx_id for txs in stream.values() for tx in txs]
+    assert len(ids) == len(set(ids))
+
+
+def test_zero_rate_is_empty():
+    assert constant_rate_stream(0, 5) == {}
+    with pytest.raises(ValueError):
+        constant_rate_stream(-1, 5)
+
+
+def test_burst_stream():
+    stream = burst_stream(burst_round=7, burst_size=10, seed=3)
+    assert list(stream) == [7]
+    assert len(stream[7]) == 10
+    assert all(is_valid_transaction(tx) for tx in stream[7])
