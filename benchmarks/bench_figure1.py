@@ -11,6 +11,7 @@ Regenerates the paper's only data figure twice over:
   for the full stall study).
 """
 
+import os
 from fractions import Fraction
 
 from repro.analysis import chain_growth_rate, check_safety, format_table
@@ -19,6 +20,10 @@ from repro.harness import run_tob
 from repro.workloads import churn_scenario
 
 THIRD = Fraction(1, 3)
+
+#: CI smoke mode: shrink the empirical probe so the bench finishes in
+#: seconds while still executing the full code path.
+TINY = os.environ.get("REPRO_BENCH_TINY", "0").strip() in ("1", "true", "yes")
 
 
 def analytic_tables() -> str:
@@ -36,10 +41,10 @@ def analytic_tables() -> str:
 
 def empirical_probe() -> tuple[str, list[dict]]:
     """Runs below the curve: growth and safety must hold."""
-    n, eta, rounds = 45, 4, 50
+    n, eta, rounds = (12, 4, 24) if TINY else (45, 4, 50)
     outcomes = []
     rows = []
-    for gamma_f in (0.0, 0.10, 0.20, 0.28):
+    for gamma_f in (0.0, 0.10) if TINY else (0.0, 0.10, 0.20, 0.28):
         gamma = Fraction(gamma_f).limit_denominator(100)
         allowed = beta_tilde(THIRD, gamma)
         byz = max(0, int(allowed * n) - 1)  # strictly below β̃·|O_r|
@@ -52,7 +57,7 @@ def empirical_probe() -> tuple[str, list[dict]]:
         outcomes.append({"gamma": gamma_f, "byz": byz, "growth": growth, "safe": safe})
         rows.append([gamma_f, float(allowed), byz, growth, safe])
     table = format_table(
-        ["γ", "β̃ (analytic)", "Byzantine (of 45)", "growth blocks/round", "safe"],
+        ["γ", "β̃ (analytic)", f"Byzantine (of {n})", "growth blocks/round", "safe"],
         rows,
         title="Figure 1 (empirical): runs below the curve make progress",
     )

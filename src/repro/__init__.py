@@ -33,6 +33,11 @@ from repro.core.bounds import (
 from repro.core.expiration import LatestVoteStore
 from repro.core.extended_ga import ExtendedGAInstance, ExtendedGAProcess, InitialVote
 from repro.core.resilient_tob import ResilientTOBProcess, resilient_factory
+from repro.engine.backend import EngineResult, run_spec
+from repro.engine.bus import MessageBus
+from repro.engine.conditions import AsyncPeriod, NetworkConditions
+from repro.engine.registry import PROTOCOLS, ProtocolRegistry, ProtocolSpec
+from repro.engine.spec import RunSpec
 from repro.harness import TOBRunConfig, build_simulation, run_simulation, run_tob
 from repro.protocols.graded_agreement import GAOutput, tally_votes
 from repro.protocols.mmr_tob import MMRProcess, mmr_factory
@@ -69,10 +74,12 @@ __version__ = "1.0.0"
 __all__ = [
     "Adversary",
     "AdversarialProposerAdversary",
+    "AsyncPeriod",
     "Block",
     "BlockTree",
     "CrashAdversary",
     "DiurnalSchedule",
+    "EngineResult",
     "EquivocatingVoteAdversary",
     "ExtendedGAInstance",
     "ExtendedGAProcess",
@@ -83,8 +90,14 @@ __all__ = [
     "Log",
     "MMRProcess",
     "Mempool",
+    "MessageBus",
     "MultiWindowAsynchrony",
+    "NetworkConditions",
     "NullAdversary",
+    "PROTOCOLS",
+    "ProtocolRegistry",
+    "ProtocolSpec",
+    "RunSpec",
     "RandomChurnSchedule",
     "ResilientTOBProcess",
     "Simulation",
@@ -114,6 +127,7 @@ __all__ = [
     "mmr_factory",
     "resilient_factory",
     "run_simulation",
+    "run_spec",
     "run_tob",
     "tally_votes",
 ]

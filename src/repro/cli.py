@@ -27,6 +27,7 @@ from repro.analysis import (
     message_totals,
 )
 from repro.core.bounds import beta_tilde, figure1_curve, max_resilient_pi
+from repro.engine.registry import PROTOCOLS
 from repro.harness import TOBRunConfig, run_tob
 from repro.workloads import ethereum_outage_scenario, split_vote_attack_scenario
 
@@ -43,12 +44,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--points", type=int, default=9)
     p.add_argument("--beta", type=Fraction, default=Fraction(1, 3))
 
-    p = sub.add_parser("run", help="run one protocol simulation")
+    p = sub.add_parser("run", help="run one protocol execution (any backend)")
     p.add_argument("--n", type=int, default=20)
     p.add_argument("--rounds", type=int, default=40)
-    p.add_argument("--protocol", choices=["mmr", "resilient"], default="resilient")
+    p.add_argument("--protocol", choices=sorted(PROTOCOLS.names()), default="resilient")
     p.add_argument("--eta", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend",
+        choices=["simulator", "deployment"],
+        default="simulator",
+        help="execution substrate: deterministic rounds or real-time asyncio gossip",
+    )
+    p.add_argument(
+        "--delta-ms", type=float, default=20.0, help="synchrony bound δ (deployment backend)"
+    )
+    p.add_argument(
+        "--txs-per-round",
+        type=int,
+        default=0,
+        help="client transaction arrivals per round (runs on either backend)",
+    )
     p.add_argument("--timeline", action="store_true", help="print the round-by-round strip chart")
     p.add_argument("--save", metavar="PATH", default=None, help="save the trace as JSON")
 
@@ -100,19 +116,38 @@ def _cmd_figure1(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    trace = run_tob(
-        TOBRunConfig(
-            n=args.n, rounds=args.rounds, protocol=args.protocol, eta=args.eta, seed=args.seed
-        )
+    from repro.engine.backend import run_spec
+
+    transactions = {}
+    if args.txs_per_round:
+        from repro.workloads import constant_rate_stream
+
+        transactions = constant_rate_stream(args.txs_per_round, args.rounds, seed=args.seed)
+    spec = TOBRunConfig(
+        n=args.n,
+        rounds=args.rounds,
+        protocol=args.protocol,
+        eta=args.eta,
+        seed=args.seed,
+        transactions=transactions,
     )
+    backend = None
+    if args.backend == "deployment":
+        from repro.engine.deploy_backend import DeploymentBackend
+
+        backend = DeploymentBackend(delta_s=args.delta_ms / 1000.0)
+    result = run_spec(spec, backend)
+    trace = result.trace
     safety = check_safety(trace)
     totals = message_totals(trace)
     depth = decided_depth_timeline(trace)[-1].depth if trace.rounds else 0
+    eta = trace.meta.get("eta", 0)
     print(
         format_table(
             ["metric", "value"],
             [
-                ["protocol", f"{args.protocol} (η={args.eta if args.protocol == 'resilient' else 0})"],
+                ["backend", result.backend],
+                ["protocol", f"{args.protocol} (η={eta})"],
                 ["processes / rounds", f"{args.n} / {args.rounds}"],
                 ["decided depth", depth],
                 ["growth (blocks/round)", chain_growth_rate(trace)],

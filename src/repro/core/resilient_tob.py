@@ -27,7 +27,7 @@ from repro.crypto.signatures import SecretKey
 from repro.protocols.graded_agreement import DEFAULT_BETA
 from repro.protocols.tob_base import DEFAULT_BLOCK_CAPACITY, SleepyTOBProcess
 from repro.sleepy.messages import CachedVerifier
-from repro.sleepy.simulator import ProcessFactory
+from repro.sleepy.process import ProcessFactory
 
 
 class ResilientTOBProcess(SleepyTOBProcess):
@@ -72,7 +72,7 @@ def resilient_factory(
     block_capacity: int = DEFAULT_BLOCK_CAPACITY,
     record_telemetry: bool = False,
 ) -> ProcessFactory:
-    """A :class:`~repro.sleepy.simulator.ProcessFactory` for the modified protocol."""
+    """A :data:`~repro.sleepy.process.ProcessFactory` for the modified protocol."""
 
     def factory(pid: int, key: SecretKey, verifier: CachedVerifier) -> ResilientTOBProcess:
         return ResilientTOBProcess(

@@ -1,0 +1,77 @@
+"""The unified execution engine.
+
+One protocol/adversary/schedule stack over both execution substrates:
+
+* :mod:`repro.engine.registry` — named protocol constructors
+  (:data:`PROTOCOLS`) shared by the simulator, the deployment runner,
+  the CLI, and the scenario library.
+* :mod:`repro.engine.bus` — the indexed :class:`MessageBus` behind the
+  round simulator's dissemination layer (per-recipient cursors +
+  backlogs over one round-bucketed log).
+* :mod:`repro.engine.conditions` — substrate-independent
+  :class:`NetworkConditions` (asynchronous periods that map to
+  adversarial delivery in the simulator and latency surges in
+  deployments).
+* :mod:`repro.engine.spec` — the :class:`RunSpec` describing one run
+  independently of where it executes.
+* :mod:`repro.engine.backend` — the :class:`ExecutionBackend`
+  interface, :class:`EngineResult`, and the model logic every backend
+  shares (corruption tracking, honest/adversary message checks,
+  transaction arrival, trace metadata).
+* :mod:`repro.engine.sim_backend` / :mod:`repro.engine.deploy_backend`
+  — the two substrates.
+
+Submodules that depend on the simulator or the protocol implementations
+are loaded lazily (PEP 562) so that low-level modules may import the
+bus and error types without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.engine.bus import MessageBus
+from repro.engine.conditions import AsyncPeriod, NetworkConditions
+from repro.engine.errors import ModelViolationError, UndeliverableMessageError
+from repro.engine.spec import RunSpec
+
+__all__ = [
+    "AsyncPeriod",
+    "CorruptionTracker",
+    "DeploymentBackend",
+    "EngineResult",
+    "ExecutionBackend",
+    "MessageBus",
+    "ModelViolationError",
+    "NetworkConditions",
+    "PROTOCOLS",
+    "ProtocolRegistry",
+    "ProtocolSpec",
+    "RunSpec",
+    "SimulationBackend",
+    "UndeliverableMessageError",
+    "run_spec",
+]
+
+_LAZY = {
+    "CorruptionTracker": "repro.engine.backend",
+    "DeploymentBackend": "repro.engine.deploy_backend",
+    "EngineResult": "repro.engine.backend",
+    "ExecutionBackend": "repro.engine.backend",
+    "PROTOCOLS": "repro.engine.registry",
+    "ProtocolRegistry": "repro.engine.registry",
+    "ProtocolSpec": "repro.engine.registry",
+    "SimulationBackend": "repro.engine.sim_backend",
+    "run_spec": "repro.engine.backend",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,191 @@
+"""The indexed message bus: the dissemination layer of the round model.
+
+Replaces the simulator's original flat message pool.  The old design
+kept one global ``list`` plus, per process, a cursor into it and a set
+of "extra" message ids delivered ahead of the cursor during
+asynchronous rounds; computing a receiver's deliverable set rescanned
+``pool[cursor:]`` and filtered it through the extras set — per process,
+per round.  The bus indexes the same state the other way around:
+
+* a global append-only **log** in publish order with **round buckets**
+  (which span of the log was published in which round), and
+* per recipient, a **cursor** (everything below it has been either
+  delivered or parked in the backlog) plus an ordered **backlog** of
+  the messages below the cursor that are still undelivered.
+
+Synchronous delivery is then ``backlog + log[cursor:]`` — O(new
+messages), with the tail slice shared between all caught-up receivers
+instead of being rebuilt per process — and adversarial delivery removes
+the chosen subset from an indexed deliverable view, so messages that
+were already delivered are never rescanned again.
+
+Semantics are identical to the flat pool (the equivalence suite pins
+seeded traces across the refactor): publish order is delivery order,
+duplicate ``message_id`` publishes are suppressed, and a process that
+slept through rounds catches up on its entire gap at its next awake
+receive phase.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.engine.errors import UndeliverableMessageError
+from repro.sleepy.messages import Message
+
+
+class MessageBus:
+    """Per-recipient indexed delivery state over one append-only log."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("need at least one recipient")
+        self.n = n
+        self._log: list[Message] = []
+        self._ids: set[str] = set()
+        #: round -> (start, end) span of ``_log``; the current round's
+        #: end is resolved lazily (it is still growing).
+        self._buckets: dict[int, tuple[int, int]] = {}
+        self._open_round: int | None = None
+        self._open_start: int = 0
+        self._cursor: list[int] = [0] * n
+        self._backlog: list[list[Message]] = [[] for _ in range(n)]
+        # One tail slice per distinct cursor position per send phase —
+        # all caught-up receivers share the same tuple.  Immutable on
+        # purpose: a third-party Process.receive that mutated its batch
+        # would otherwise corrupt every other receiver's delivery.
+        self._tail_memo: dict[int, tuple[Message, ...]] = {}
+        #: Delivery-layer accounting (consumed by benches and tests).
+        #: ``messages_materialised`` counts list entries written when
+        #: building delivery views — a backlog catch-up concat
+        #: deliberately re-counts the tail it copies.
+        self.stats = {
+            "published": 0,
+            "duplicates": 0,
+            "tail_builds": 0,
+            "tail_reuses": 0,
+            "messages_materialised": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def begin_round(self, round_number: int) -> None:
+        """Open the bucket for ``round_number``'s send phase."""
+        if self._open_round is not None:
+            self._buckets[self._open_round] = (self._open_start, len(self._log))
+        self._open_round = round_number
+        self._open_start = len(self._log)
+
+    def publish(self, message: Message) -> bool:
+        """Add ``message`` to the log; ``False`` if its id was already seen."""
+        if message.message_id in self._ids:
+            self.stats["duplicates"] += 1
+            return False
+        self._ids.add(message.message_id)
+        self._log.append(message)
+        self.stats["published"] += 1
+        if self._tail_memo:
+            self._tail_memo.clear()
+        return True
+
+    def round_messages(self, round_number: int) -> Sequence[Message]:
+        """Messages published during ``round_number``'s send phase."""
+        if round_number == self._open_round:
+            return self._log[self._open_start :]
+        span = self._buckets.get(round_number)
+        if span is None:
+            return ()
+        start, end = span
+        return self._log[start:end]
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def deliverable(self, pid: int) -> list[Message]:
+        """Every message not yet delivered to ``pid``, in publish order.
+
+        Always a fresh list — safe to hand to an adversary.
+        """
+        return self._backlog[pid] + self._log[self._cursor[pid] :]
+
+    def deliver_all(self, pid: int) -> Sequence[Message]:
+        """Synchronous delivery: hand over everything pending, mark it done.
+
+        Returns the backlog-plus-tail batch.  When the backlog is empty
+        (the common case under synchrony) the returned batch is an
+        immutable tuple shared between all receivers at the same cursor.
+        """
+        tail = self._tail(self._cursor[pid])
+        backlog = self._backlog[pid]
+        if backlog:
+            batch: Sequence[Message] = backlog + list(tail)
+            self._backlog[pid] = []
+            self.stats["messages_materialised"] += len(batch)
+        else:
+            batch = tail
+        self._cursor[pid] = len(self._log)
+        return batch
+
+    def deliver_chosen(
+        self, pid: int, chosen: Sequence[Message], pending: list[Message] | None = None
+    ) -> None:
+        """Adversarial delivery: ``chosen`` must be a subset of the
+        deliverable set; everything else is parked in the backlog.
+
+        ``pending`` lets a caller that already computed
+        :meth:`deliverable` (to show the adversary) pass it back in
+        rather than have it rebuilt.
+
+        Raises :class:`UndeliverableMessageError` if the choice strays
+        outside the deliverable view (injection through the delivery
+        hook is impossible by construction).
+        """
+        if pending is None:
+            pending = self.deliverable(pid)
+        allowed = {m.message_id for m in pending}
+        for message in chosen:
+            if message.message_id not in allowed:
+                raise UndeliverableMessageError(
+                    f"message {message.message_id} is not deliverable to process {pid}"
+                )
+        chosen_ids = {m.message_id for m in chosen}
+        self._backlog[pid] = [m for m in pending if m.message_id not in chosen_ids]
+        self._cursor[pid] = len(self._log)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __contains__(self, message_id: str) -> bool:
+        return message_id in self._ids
+
+    @property
+    def total_published(self) -> int:
+        return len(self._log)
+
+    def backlog_size(self, pid: int) -> int:
+        """Undelivered messages parked below ``pid``'s cursor."""
+        return len(self._backlog[pid])
+
+    def pending_count(self, pid: int) -> int:
+        """Total undelivered messages for ``pid``."""
+        return len(self._backlog[pid]) + len(self._log) - self._cursor[pid]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _tail(self, cursor: int) -> tuple[Message, ...]:
+        if cursor >= len(self._log):
+            return ()
+        cached = self._tail_memo.get(cursor)
+        if cached is None:
+            cached = tuple(self._log[cursor:])
+            self._tail_memo[cursor] = cached
+            self.stats["tail_builds"] += 1
+            self.stats["messages_materialised"] += len(cached)
+        else:
+            self.stats["tail_reuses"] += 1
+        return cached

@@ -1,0 +1,139 @@
+"""Substrate-independent network conditions.
+
+The paper's model has one notion of degraded networking — a bounded
+asynchronous period ``[ra+1, ra+π]`` — but the two execution substrates
+realise it differently: the round simulator gives the adversary
+*logical* delivery control during those rounds
+(:class:`~repro.sleepy.network.WindowedAsynchrony`), while the asyncio
+deployment models the *physical* phenomenon, a latency surge past δ
+(:class:`~repro.net.transport.SurgeWindow`).  A
+:class:`NetworkConditions` value describes the periods once and maps to
+either realisation, so the same scenario runs on both substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.transport import SurgeWindow
+from repro.sleepy.network import (
+    MultiWindowAsynchrony,
+    NetworkModel,
+    SynchronousNetwork,
+    WindowedAsynchrony,
+)
+
+#: Latency multiplier that comfortably pushes one-way delays past δ
+#: (base latency is δ/8 + up to δ/8 jitter in the deployment transport).
+DEFAULT_SURGE_FACTOR = 25.0
+
+
+@dataclass(frozen=True)
+class AsyncPeriod:
+    """One asynchronous period: rounds ``[ra + 1, ra + pi]``.
+
+    ``surge_factor`` is how the period manifests physically — the
+    latency multiplier a deployment applies while the period lasts.
+    """
+
+    ra: int
+    pi: int
+    surge_factor: float = DEFAULT_SURGE_FACTOR
+
+    def __post_init__(self) -> None:
+        if self.ra < 0:
+            raise ValueError("ra must be non-negative")
+        if self.pi < 0:
+            raise ValueError("pi must be non-negative")
+        if self.surge_factor < 1.0:
+            raise ValueError("surge_factor must be >= 1 (asynchrony slows the network)")
+
+    def covers(self, round_number: int) -> bool:
+        return self.ra + 1 <= round_number <= self.ra + self.pi
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """Zero or more disjoint asynchronous periods over one run."""
+
+    periods: tuple[AsyncPeriod, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Validate disjointness here so an overlapping description fails
+        # identically on every backend (the simulator's MultiWindow model
+        # would reject it; the surge realisation would silently accept).
+        spans = sorted((p.ra + 1, p.ra + p.pi) for p in self.periods if p.pi > 0)
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            if start_b <= end_a:
+                raise ValueError("asynchronous periods overlap")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def synchronous(cls) -> NetworkConditions:
+        """Fully synchronous conditions (the paper's common case)."""
+        return cls()
+
+    @classmethod
+    def window(
+        cls, ra: int, pi: int, surge_factor: float = DEFAULT_SURGE_FACTOR
+    ) -> NetworkConditions:
+        """A single asynchronous period ``[ra + 1, ra + pi]``."""
+        return cls(periods=(AsyncPeriod(ra, pi, surge_factor),))
+
+    # ------------------------------------------------------------------
+    # Realisations
+    # ------------------------------------------------------------------
+    def network_model(self) -> NetworkModel:
+        """The logical realisation for the round simulator."""
+        active = [p for p in self.periods if p.pi > 0]
+        if not active:
+            return SynchronousNetwork()
+        if len(active) == 1:
+            return WindowedAsynchrony(ra=active[0].ra, pi=active[0].pi)
+        return MultiWindowAsynchrony([(p.ra, p.pi) for p in active])
+
+    def surge_windows(self, round_s: float) -> tuple[SurgeWindow, ...]:
+        """The physical realisation for the deployment transport."""
+        return tuple(
+            SurgeWindow(
+                start_s=(p.ra + 1) * round_s,
+                end_s=(p.ra + p.pi + 1) * round_s,
+                factor=p.surge_factor,
+            )
+            for p in self.periods
+            if p.pi > 0
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_asynchronous(self, round_number: int) -> bool:
+        return any(p.covers(round_number) for p in self.periods)
+
+    def async_rounds(self, horizon: int) -> frozenset[int]:
+        """All asynchronous rounds below ``horizon``."""
+        return frozenset(r for r in range(horizon) if self.is_asynchronous(r))
+
+
+def conditions_from_network(network: NetworkModel) -> NetworkConditions:
+    """Best-effort translation of a simulator network model.
+
+    Lets a scenario written against the simulator's
+    :class:`~repro.sleepy.network.NetworkModel` API run on the
+    deployment backend.  Raises for custom models with no structural
+    period description to translate.
+    """
+    if isinstance(network, SynchronousNetwork):
+        return NetworkConditions.synchronous()
+    if isinstance(network, WindowedAsynchrony):
+        return NetworkConditions.window(network.ra, network.pi)
+    if isinstance(network, MultiWindowAsynchrony):
+        return NetworkConditions(
+            periods=tuple(AsyncPeriod(ra, pi) for ra, pi in network.windows)
+        )
+    raise ValueError(
+        f"cannot translate {type(network).__name__} into NetworkConditions; "
+        "describe the scenario with NetworkConditions to run it on any backend"
+    )

@@ -1,0 +1,257 @@
+"""The wall-clock asyncio deployment as an execution backend.
+
+The same :class:`~repro.engine.spec.RunSpec` that drives the round
+simulator is driven here by real rounds (Δ = 3δ) over an asyncio gossip
+network with seeded latencies — protocol construction, transaction
+arrival, corruption bookkeeping, and trace assembly all come from the
+shared engine layer, so schedules, adversaries, and workloads written
+for one substrate run on the other.
+
+Substrate differences (inherent, not incidental):
+
+* **Delivery control.**  The simulator grants the adversary *logical*
+  per-receiver delivery choice during asynchronous rounds.  The
+  deployment realises asynchrony *physically*: latencies surge past δ
+  (:class:`~repro.net.transport.SurgeWindow`), so round-``r`` messages
+  arrive rounds late but are never lost.  An adversary's ``deliver``
+  hook is therefore not consulted here.
+* **Corruption schedule.**  ``Adversary.byzantine`` is treated as a
+  schedule and resolved round by round before the run starts (it may
+  not depend on execution state — none of the model's adversaries do);
+  the adversary's ``send`` power runs live, in round, against the
+  omniscient block tree exactly as in the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+
+from repro.chain.block import genesis_block
+from repro.chain.store import BlockBuffer
+from repro.chain.tree import BlockTree
+from repro.crypto.signatures import KeyRegistry
+from repro.engine.backend import (
+    CorruptionTracker,
+    EngineResult,
+    ExecutionBackend,
+    base_meta,
+    check_adversary_message,
+    count_kinds,
+    offer_transactions,
+)
+from repro.engine.conditions import NetworkConditions, conditions_from_network
+from repro.engine.registry import PROTOCOLS, ProtocolRegistry
+from repro.engine.spec import RunSpec
+from repro.net.gossip import GossipNetwork, regular_topology
+from repro.net.transport import SimTransport
+from repro.runtime.clock import RoundClock
+from repro.runtime.node import DeployedNode
+from repro.sleepy.adversary import AdversaryContext
+from repro.sleepy.messages import CachedVerifier, Message, ProposeMessage
+from repro.sleepy.trace import RoundRecord, Trace
+
+
+@dataclass
+class DeploymentBackend(ExecutionBackend):
+    """Executes a :class:`RunSpec` over real time, gossip, and latency."""
+
+    delta_s: float = 0.02
+    gossip_degree: int = 4
+    #: Maximum absolute clock offset per node, in seconds.  The paper
+    #: assumes synchronized clocks; in practice δ must absorb small
+    #: skews, which this knob injects (each node's phase boundaries are
+    #: shifted by a seeded offset in ``[-clock_skew_s, +clock_skew_s]``).
+    clock_skew_s: float = 0.0
+    receive_fraction: float = 0.9
+    protocols: ProtocolRegistry = field(repr=False, default_factory=lambda: PROTOCOLS)
+
+    name = "deployment"
+
+    def execute(self, spec: RunSpec) -> EngineResult:
+        """Synchronous entry point (creates its own event loop)."""
+        return asyncio.run(self.execute_async(spec))
+
+    async def execute_async(self, spec: RunSpec) -> EngineResult:
+        """Run one deployment inside a running event loop."""
+        conditions = self._conditions(spec)
+        registry = KeyRegistry(spec.n, run_seed=spec.seed)
+        verifier = CachedVerifier(registry)
+        clock = RoundClock(self.delta_s)
+        factory = self.protocols.factory(
+            spec.protocol,
+            eta=spec.eta,
+            beta=spec.beta,
+            record_telemetry=spec.record_telemetry,
+        )
+
+        transport = SimTransport(
+            spec.n,
+            base_latency_s=self.delta_s / 8,
+            jitter_s=self.delta_s / 8,
+            seed=spec.seed,
+            surges=conditions.surge_windows(clock.round_s),
+        )
+        nodes = {
+            pid: DeployedNode(
+                factory(pid, registry.secret_key(pid), verifier),
+                schedule=spec.schedule,
+            )
+            for pid in range(spec.n)
+        }
+        network = GossipNetwork(
+            transport,
+            regular_topology(spec.n, self.gossip_degree, seed=spec.seed),
+            on_deliver=lambda pid, message: nodes[pid].on_gossip(message),
+        )
+
+        # Adversary substrate: omniscient tree, key hand-over, and the
+        # corruption schedule, all via the shared engine bookkeeping.
+        adversary = spec.resolved_adversary()
+        tree = BlockTree([genesis_block()])
+        tree_buffer = BlockBuffer(tree)
+        ctx = AdversaryContext(registry, tree)
+        tracker = CorruptionTracker(adversary, ctx)
+        # The corruption *schedule* is resolved up front (peek: no key
+        # grants, no monotonicity bookkeeping); keys are handed over and
+        # monotonicity enforced round by round in drive_adversary, as in
+        # the simulator.
+        byz_by_round = {r: tracker.peek(r) for r in range(spec.rounds + 1)}
+
+        sent_by_round = [[0, 0, 0] for _ in range(spec.rounds)]
+
+        def publish(pid: int, r: int, message: Message) -> None:
+            votes, proposes, other = count_kinds((message,))
+            counters = sent_by_round[r]
+            counters[0] += votes
+            counters[1] += proposes
+            counters[2] += other
+            if isinstance(message, ProposeMessage) and message.block is not None:
+                tree_buffer.offer(message.block)
+            network.nodes[pid].publish(message)
+
+        transport.start()
+        clock.start()
+        network.start()
+        started = asyncio.get_running_loop().time()
+
+        skew_rng = random.Random(spec.seed ^ 0x5CE3)
+        offsets = {
+            pid: skew_rng.uniform(-self.clock_skew_s, self.clock_skew_s)
+            for pid in range(spec.n)
+        }
+
+        # One driver task per node keeps phase timing independent per
+        # node; each node reads the shared clock through its own
+        # (skewed) lens.  Corrupted nodes stop executing the honest
+        # protocol (the adversary speaks for them) but keep relaying
+        # gossip — dissemination is a model assumption, not a courtesy.
+        async def drive(node: DeployedNode) -> None:
+            offset = offsets[node.pid]
+            for r in range(spec.rounds):
+                await clock.sleep_until_elapsed(clock.start_of(r) + offset)
+                # Transactions arrive at every awake node's mempool —
+                # corrupted ones included, exactly like the simulator.
+                if node.awake(r):
+                    offer_transactions(node.process, spec.arrivals(r))
+                # Send phase belongs to H_r, receive phase to O_{r+1} \ B_{r+1}
+                # — gated independently, exactly like the simulator (a
+                # non-growing adversary may corrupt for r only).
+                if node.pid not in byz_by_round[r]:
+                    for message in node.run_send_phase(r):
+                        publish(node.pid, r, message)
+                await clock.sleep_until_elapsed(
+                    clock.start_of(r) + self.receive_fraction * clock.round_s + offset
+                )
+                if node.pid not in byz_by_round[r + 1]:
+                    node.run_receive_phase(r)
+
+        async def drive_adversary() -> None:
+            for r in range(spec.rounds):
+                await clock.sleep_until_elapsed(clock.start_of(r))
+                ctx.round = r
+                byz = tracker.corrupted(r)
+                for message in adversary.send(r, ctx):
+                    check_adversary_message(message, byz)
+                    publish(message.sender, r, message)
+
+        await asyncio.gather(*(drive(node) for node in nodes.values()), drive_adversary())
+        await network.stop()
+        wall = asyncio.get_running_loop().time() - started
+
+        trace = self._build_trace(spec, conditions, nodes, byz_by_round, sent_by_round, tree)
+        return EngineResult(
+            trace=trace,
+            backend=self.name,
+            wall_seconds=wall,
+            messages_sent=transport.sent_count,
+            extras={"nodes": nodes, "transport": transport, "adversary_tree": tree},
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _conditions(spec: RunSpec) -> NetworkConditions:
+        if spec.conditions is not None:
+            return spec.conditions
+        if spec.network is not None:
+            return conditions_from_network(spec.network)
+        return NetworkConditions.synchronous()
+
+    def _build_trace(
+        self,
+        spec: RunSpec,
+        conditions: NetworkConditions,
+        nodes: dict[int, DeployedNode],
+        byz_by_round: dict[int, frozenset[int]],
+        sent_by_round: list[list[int]],
+        adversary_tree: BlockTree,
+    ) -> Trace:
+        # Merge every node's local tree (plus adversary-minted blocks)
+        # into one omniscient analysis tree.
+        tree = BlockTree([genesis_block()])
+        buffer = BlockBuffer(tree)
+        pending = []
+        locals_ = [node.process.tree for node in nodes.values()] + [adversary_tree]
+        for local in locals_:
+            for tip in local.tips():
+                for block_id in local.path(tip):
+                    pending.append(local.get(block_id))
+        for block in sorted(pending, key=lambda b: b.view):
+            buffer.offer(block)
+
+        trace = Trace(
+            n=spec.n,
+            tree=tree,
+            meta=base_meta(
+                spec,
+                self.protocols,
+                delta_s=self.delta_s,
+                deployment=True,
+                backend=self.name,
+            ),
+        )
+        everyone = frozenset(range(spec.n))
+        for r in range(spec.rounds):
+            scheduled = spec.schedule.awake(r) if spec.schedule is not None else everyone
+            byz = byz_by_round[r]
+            awake = scheduled | byz  # Byzantine processes never sleep.
+            votes, proposes, other = sent_by_round[r]
+            trace.rounds.append(
+                RoundRecord(
+                    round=r,
+                    awake=awake,
+                    honest=awake - byz,
+                    byzantine=byz,
+                    asynchronous=conditions.is_asynchronous(r),
+                    votes_sent=votes,
+                    proposes_sent=proposes,
+                    other_sent=other,
+                )
+            )
+        for node in nodes.values():
+            trace.decisions.extend(node.decisions)
+        trace.decisions.sort(key=lambda d: (d.round, d.pid))
+        return trace

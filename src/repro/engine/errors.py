@@ -1,0 +1,18 @@
+"""Errors shared by every execution substrate."""
+
+from __future__ import annotations
+
+
+class ModelViolationError(RuntimeError):
+    """An actor stepped outside the power the model grants it.
+
+    Raised by whichever backend is enforcing the sleepy-model fine
+    print: honest processes must sign as themselves and tag the current
+    round, the adversary may only sign as corrupted processes, a growing
+    adversary never un-corrupts, and adversarial delivery must stay
+    within the deliverable set.
+    """
+
+
+class UndeliverableMessageError(ValueError):
+    """A delivery request named a message outside the deliverable set."""

@@ -1,0 +1,104 @@
+"""The substrate-independent description of one protocol run.
+
+A :class:`RunSpec` says *what* to execute — protocol, participation
+schedule, adversary, network conditions, transaction workload — without
+saying *where*.  Backends (:mod:`repro.engine.backend`) say where:
+the deterministic round simulator or the wall-clock asyncio deployment.
+
+:class:`RunSpec` is also the public :class:`~repro.harness.TOBRunConfig`
+(the harness re-exports it under that name), so every existing
+scenario, bench, and example config runs on either substrate unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from repro.chain.transactions import Transaction
+from repro.engine.conditions import NetworkConditions
+from repro.protocols.graded_agreement import DEFAULT_BETA
+from repro.sleepy.adversary import Adversary, NullAdversary
+from repro.sleepy.network import NetworkModel, SynchronousNetwork
+from repro.sleepy.schedule import FullParticipation, SleepSchedule
+
+
+@dataclass
+class RunSpec:
+    """Declarative description of one protocol run.
+
+    Attributes:
+        n: number of processes.
+        rounds: rounds to execute.
+        protocol: a name registered in the protocol registry
+            (``"mmr"`` — original, current-round votes — or
+            ``"resilient"`` — latest unexpired votes over η rounds — by
+            default; extensions may register more).
+        eta: expiration period for protocols that use one (ignored by
+            ``"mmr"``).
+        beta: the GA failure-ratio parameter β (quorums are ``> (1−β)m``
+            and ``> β·m``).  The *assumption* to run under β̃ for a given
+            churn rate is the experimenter's responsibility — that is
+            the paper's Equation 2, checked by
+            :mod:`repro.analysis.assumptions`.
+        schedule: awake/asleep schedule (default: full participation).
+        adversary: the adversary (default: none).  The simulator grants
+            all three adversary powers; the deployment substrate grants
+            corruption and Byzantine messaging, while delivery control
+            is realised physically as latency surges (see
+            :mod:`repro.engine.conditions`).
+        network: simulator-only synchrony model override.  Prefer
+            ``conditions``, which runs on every backend; ``network``
+            remains for custom :class:`~repro.sleepy.network.NetworkModel`
+            subclasses.  At most one of the two may be set.
+        conditions: substrate-independent network conditions
+            (asynchronous periods that map to adversarial delivery in
+            the simulator and latency surges in deployments).
+        transactions: round → transactions that arrive at every awake
+            process's mempool at the beginning of that round (models
+            clients broadcasting transactions).
+        record_telemetry: collect per-GA quorum-race telemetry on every
+            process (:class:`~repro.protocols.tob_base.TallySample`).
+        seed: run seed for key derivation.
+        meta: free-form metadata copied into the trace.
+    """
+
+    n: int
+    rounds: int
+    protocol: str = "resilient"
+    eta: int = 2
+    beta: Fraction = DEFAULT_BETA
+    schedule: SleepSchedule | None = None
+    adversary: Adversary | None = None
+    network: NetworkModel | None = None
+    transactions: Mapping[int, Sequence[Transaction]] = field(default_factory=dict)
+    record_telemetry: bool = False
+    seed: int = 0
+    meta: dict = field(default_factory=dict)
+    conditions: NetworkConditions | None = None
+
+    def __post_init__(self) -> None:
+        if self.network is not None and self.conditions is not None:
+            raise ValueError("set either network (simulator-only) or conditions, not both")
+
+    # ------------------------------------------------------------------
+    # Resolution (defaults applied once, identically on every backend)
+    # ------------------------------------------------------------------
+    def resolved_schedule(self) -> SleepSchedule:
+        return self.schedule if self.schedule is not None else FullParticipation(self.n)
+
+    def resolved_adversary(self) -> Adversary:
+        return self.adversary if self.adversary is not None else NullAdversary()
+
+    def resolved_network(self) -> NetworkModel:
+        """The logical synchrony model (for the round simulator)."""
+        if self.network is not None:
+            return self.network
+        if self.conditions is not None:
+            return self.conditions.network_model()
+        return SynchronousNetwork()
+
+    def arrivals(self, round_number: int) -> Sequence[Transaction]:
+        """Transactions arriving at the beginning of ``round_number``."""
+        return self.transactions.get(round_number, ())

@@ -96,7 +96,7 @@ def ebb_and_flow_factory(
     beta: Fraction | None = None,
     quorum: Fraction = DEFAULT_FINALITY_QUORUM,
 ):
-    """A :class:`~repro.sleepy.simulator.ProcessFactory` for wrapped processes."""
+    """A :data:`~repro.sleepy.process.ProcessFactory` for wrapped processes."""
     from repro.chain.transactions import Mempool
     from repro.protocols.graded_agreement import DEFAULT_BETA
     from repro.protocols.mmr_tob import MMRProcess

@@ -3,114 +3,39 @@
 Examples, tests, and benches all build runs the same way: pick a
 protocol (original MMR or the η-expiration modification), a sleep
 schedule, an adversary, and a network model; run for some rounds; get a
-:class:`~repro.sleepy.trace.Trace` back.  This module provides that
-assembly so experiment code stays declarative.
+:class:`~repro.sleepy.trace.Trace` back.
+
+This module is a thin adapter over the unified execution engine
+(:mod:`repro.engine`): :class:`TOBRunConfig` *is* the engine's
+:class:`~repro.engine.spec.RunSpec`, and :func:`run_tob` executes it on
+the deterministic round-simulator backend.  The same config runs on the
+wall-clock asyncio substrate via
+:class:`~repro.engine.deploy_backend.DeploymentBackend` (or the
+``repro run --backend deployment`` CLI).
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
-from fractions import Fraction
-
-from repro.chain.transactions import Transaction
-from repro.crypto.signatures import KeyRegistry
-from repro.protocols.graded_agreement import DEFAULT_BETA
-from repro.protocols.mmr_tob import mmr_factory
-from repro.core.resilient_tob import resilient_factory
-from repro.sleepy.adversary import Adversary, NullAdversary
-from repro.sleepy.network import NetworkModel, SynchronousNetwork
-from repro.sleepy.schedule import FullParticipation, SleepSchedule
+from repro.engine.sim_backend import SimulationBackend
+from repro.engine.spec import RunSpec
 from repro.sleepy.simulator import Simulation
 from repro.sleepy.trace import Trace
 
-
-@dataclass
-class TOBRunConfig:
-    """Declarative description of one protocol run.
-
-    Attributes:
-        n: number of processes.
-        rounds: rounds to execute.
-        protocol: ``"mmr"`` (original, current-round votes) or
-            ``"resilient"`` (latest unexpired votes over η rounds).
-        eta: expiration period for the resilient protocol (ignored for
-            ``"mmr"``).
-        beta: the GA failure-ratio parameter β (quorums are ``> (1−β)m``
-            and ``> β·m``).  The *assumption* to run under β̃ for a given
-            churn rate is the experimenter's responsibility — that is
-            the paper's Equation 2, checked by
-            :mod:`repro.analysis.assumptions`.
-        schedule: awake/asleep schedule (default: full participation).
-        adversary: the adversary (default: none).
-        network: synchrony model (default: fully synchronous).
-        transactions: round → transactions that arrive at every awake
-            process's mempool at the beginning of that round (models
-            clients broadcasting transactions).
-        record_telemetry: collect per-GA quorum-race telemetry on every
-            process (:class:`~repro.protocols.tob_base.TallySample`).
-        seed: run seed for key derivation.
-        meta: free-form metadata copied into the trace.
-    """
-
-    n: int
-    rounds: int
-    protocol: str = "resilient"
-    eta: int = 2
-    beta: Fraction = DEFAULT_BETA
-    schedule: SleepSchedule | None = None
-    adversary: Adversary | None = None
-    network: NetworkModel | None = None
-    transactions: Mapping[int, Sequence[Transaction]] = field(default_factory=dict)
-    record_telemetry: bool = False
-    seed: int = 0
-    meta: dict = field(default_factory=dict)
+#: The declarative description of one protocol run (engine RunSpec).
+TOBRunConfig = RunSpec
 
 
 def build_simulation(config: TOBRunConfig) -> Simulation:
     """Construct the :class:`Simulation` described by ``config``."""
-    if config.protocol == "mmr":
-        factory = mmr_factory(beta=config.beta, record_telemetry=config.record_telemetry)
-    elif config.protocol == "resilient":
-        factory = resilient_factory(
-            eta=config.eta, beta=config.beta, record_telemetry=config.record_telemetry
-        )
-    else:
-        raise ValueError(f"unknown protocol {config.protocol!r} (use 'mmr' or 'resilient')")
-
-    registry = KeyRegistry(config.n, run_seed=config.seed)
-    schedule = config.schedule if config.schedule is not None else FullParticipation(config.n)
-    adversary = config.adversary if config.adversary is not None else NullAdversary()
-    network = config.network if config.network is not None else SynchronousNetwork()
-    meta = {
-        "protocol": config.protocol,
-        "eta": config.eta if config.protocol == "resilient" else 0,
-        "beta": config.beta,
-        "seed": config.seed,
-        **config.meta,
-    }
-    return Simulation(registry, schedule, adversary, network, factory, meta=meta)
+    return SimulationBackend().build(config)
 
 
 def run_tob(config: TOBRunConfig) -> Trace:
     """Build and run the simulation; returns the trace."""
-    simulation = build_simulation(config)
-    return run_simulation(simulation, config)
+    return SimulationBackend().execute(config).trace
 
 
 def run_simulation(simulation: Simulation, config: TOBRunConfig) -> Trace:
     """Run an already-built simulation, feeding transactions round by round."""
-    for r in range(config.rounds):
-        arrivals = config.transactions.get(r, ())
-        if arrivals:
-            awake = simulation.schedule.awake(r)
-            for pid, process in simulation.processes.items():
-                if pid not in awake:
-                    continue
-                mempool = getattr(process, "mempool", None)
-                if mempool is None:
-                    continue
-                for tx in arrivals:
-                    mempool.add(tx)
-        simulation.run(1)
+    SimulationBackend.drive(simulation, config)
     return simulation.trace

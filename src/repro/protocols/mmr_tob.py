@@ -14,7 +14,7 @@ from repro.chain.transactions import Mempool
 from repro.protocols.graded_agreement import DEFAULT_BETA
 from repro.protocols.tob_base import DEFAULT_BLOCK_CAPACITY, SleepyTOBProcess
 from repro.sleepy.messages import CachedVerifier
-from repro.sleepy.simulator import ProcessFactory
+from repro.sleepy.process import ProcessFactory
 
 
 class MMRProcess(SleepyTOBProcess):
@@ -34,7 +34,7 @@ def mmr_factory(
     block_capacity: int = DEFAULT_BLOCK_CAPACITY,
     record_telemetry: bool = False,
 ) -> ProcessFactory:
-    """A :class:`~repro.sleepy.simulator.ProcessFactory` for MMR processes."""
+    """A :data:`~repro.sleepy.process.ProcessFactory` for MMR processes."""
 
     def factory(pid: int, key, verifier: CachedVerifier) -> MMRProcess:
         return MMRProcess(

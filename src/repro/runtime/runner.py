@@ -1,11 +1,19 @@
 """Deployment runner: n nodes, a gossip overlay, a shared round clock.
 
-This is the "real" execution substrate (DESIGN.md S19): the same
-protocol classes that run in the deterministic round simulator are
-driven here by wall-clock rounds (Δ = 3δ) over an asyncio gossip
-network with seeded latencies.  A :class:`~repro.net.transport.SurgeWindow`
-models an asynchronous period — latency spikes past δ, so round-``r``
-messages arrive rounds late (but are never lost).
+This is the "real" execution substrate: the same protocol classes that
+run in the deterministic round simulator are driven here by wall-clock
+rounds (Δ = 3δ) over an asyncio gossip network with seeded latencies.
+A :class:`~repro.net.transport.SurgeWindow` models an asynchronous
+period — latency spikes past δ, so round-``r`` messages arrive rounds
+late (but are never lost).
+
+This module is a thin adapter over the unified execution engine: a
+:class:`DeploymentConfig` splits into a substrate-independent
+:class:`~repro.engine.spec.RunSpec` plus the physical knobs of
+:class:`~repro.engine.deploy_backend.DeploymentBackend`.  Through the
+engine, deployments now take the full workload surface the simulator
+does — protocol registry dispatch, sleep schedules, transaction
+streams, and (send-power) adversaries.
 
 The runner produces an ordinary :class:`~repro.sleepy.trace.Trace`, so
 every checker and metric in :mod:`repro.analysis` applies unchanged.
@@ -13,25 +21,17 @@ every checker and metric in :mod:`repro.analysis` applies unchanged.
 
 from __future__ import annotations
 
-import asyncio
-import random
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from fractions import Fraction
 
-from repro.chain.block import genesis_block
-from repro.chain.store import BlockBuffer
-from repro.chain.tree import BlockTree
-from repro.crypto.signatures import KeyRegistry
-from repro.net.gossip import GossipNetwork, regular_topology
-from repro.net.transport import SimTransport, SurgeWindow
+from repro.chain.transactions import Transaction
+from repro.engine.conditions import NetworkConditions
 from repro.protocols.graded_agreement import DEFAULT_BETA
-from repro.protocols.mmr_tob import MMRProcess
-from repro.core.resilient_tob import ResilientTOBProcess
-from repro.runtime.clock import RoundClock
 from repro.runtime.node import DeployedNode
-from repro.sleepy.messages import CachedVerifier, ProposeMessage
+from repro.sleepy.adversary import Adversary
 from repro.sleepy.schedule import SleepSchedule
-from repro.sleepy.trace import RoundRecord, Trace
+from repro.sleepy.trace import Trace
 
 
 @dataclass
@@ -56,6 +56,47 @@ class DeploymentConfig:
     clock_skew_s: float = 0.0
     seed: int = 0
     receive_fraction: float = 0.9
+    #: Round → transactions arriving at every awake node's mempool at
+    #: the beginning of that round (same shape as the simulator's).
+    transactions: Mapping[int, Sequence[Transaction]] = field(default_factory=dict)
+    #: Corruption + Byzantine send power (delivery control is realised
+    #: physically by the surge; see the deployment backend's docs).
+    adversary: Adversary | None = None
+
+    # ------------------------------------------------------------------
+    # Engine mapping
+    # ------------------------------------------------------------------
+    def to_spec(self):
+        """The substrate-independent :class:`~repro.engine.spec.RunSpec`."""
+        from repro.engine.spec import RunSpec
+
+        conditions = None
+        if self.surge is not None:
+            ra, pi, factor = self.surge
+            conditions = NetworkConditions.window(ra, pi, surge_factor=factor)
+        return RunSpec(
+            n=self.n,
+            rounds=self.rounds,
+            protocol=self.protocol,
+            eta=self.eta,
+            beta=self.beta,
+            schedule=self.schedule,
+            adversary=self.adversary,
+            transactions=self.transactions,
+            seed=self.seed,
+            conditions=conditions,
+        )
+
+    def to_backend(self):
+        """The physical substrate knobs as a backend instance."""
+        from repro.engine.deploy_backend import DeploymentBackend
+
+        return DeploymentBackend(
+            delta_s=self.delta_s,
+            gossip_degree=self.gossip_degree,
+            clock_skew_s=self.clock_skew_s,
+            receive_fraction=self.receive_fraction,
+        )
 
 
 @dataclass
@@ -68,139 +109,22 @@ class DeploymentResult:
     nodes: dict[int, DeployedNode] = field(repr=False, default_factory=dict)
 
 
-def _make_process(config: DeploymentConfig, pid: int, key, verifier) -> MMRProcess | ResilientTOBProcess:
-    if config.protocol == "mmr":
-        return MMRProcess(pid, key, verifier, beta=config.beta)
-    if config.protocol == "resilient":
-        return ResilientTOBProcess(pid, key, verifier, eta=config.eta, beta=config.beta)
-    raise ValueError(f"unknown protocol {config.protocol!r}")
+def _to_result(engine_result) -> DeploymentResult:
+    return DeploymentResult(
+        trace=engine_result.trace,
+        wall_seconds=engine_result.wall_seconds,
+        messages_sent=engine_result.messages_sent,
+        nodes=engine_result.extras.get("nodes", {}),
+    )
 
 
 async def run_deployment_async(config: DeploymentConfig) -> DeploymentResult:
     """Run one deployment inside a running event loop."""
-    registry = KeyRegistry(config.n, run_seed=config.seed)
-    verifier = CachedVerifier(registry)
-    clock = RoundClock(config.delta_s)
-
-    surges: tuple[SurgeWindow, ...] = ()
-    async_rounds: set[int] = set()
-    if config.surge is not None:
-        ra, pi, factor = config.surge
-        async_rounds = set(range(ra + 1, ra + pi + 1))
-        surges = (
-            SurgeWindow(
-                start_s=clock.start_of(ra + 1),
-                end_s=clock.start_of(ra + pi + 1),
-                factor=factor,
-            ),
-        )
-
-    transport = SimTransport(
-        config.n,
-        base_latency_s=config.delta_s / 8,
-        jitter_s=config.delta_s / 8,
-        seed=config.seed,
-        surges=surges,
-    )
-
-    nodes = {
-        pid: DeployedNode(
-            _make_process(config, pid, registry.secret_key(pid), verifier),
-            schedule=config.schedule,
-        )
-        for pid in range(config.n)
-    }
-    network = GossipNetwork(
-        transport,
-        regular_topology(config.n, config.gossip_degree, seed=config.seed),
-        on_deliver=lambda pid, message: nodes[pid].on_gossip(message),
-    )
-
-    transport.start()
-    clock.start()
-    network.start()
-    started = asyncio.get_running_loop().time()
-
-    skew_rng = random.Random(config.seed ^ 0x5CE3)
-    offsets = {
-        pid: skew_rng.uniform(-config.clock_skew_s, config.clock_skew_s)
-        for pid in range(config.n)
-    }
-
-    # One driver task per node keeps phase timing independent per node;
-    # each node reads the shared clock through its own (skewed) lens.
-    async def drive(node: DeployedNode) -> None:
-        offset = offsets[node.pid]
-        for r in range(config.rounds):
-            await clock.sleep_until_elapsed(clock.start_of(r) + offset)
-            for message in node.run_send_phase(r):
-                network.nodes[node.pid].publish(message)
-            await clock.sleep_until_elapsed(
-                clock.start_of(r) + config.receive_fraction * clock.round_s + offset
-            )
-            node.run_receive_phase(r)
-
-    await asyncio.gather(*(drive(node) for node in nodes.values()))
-    await network.stop()
-    wall = asyncio.get_running_loop().time() - started
-
-    return DeploymentResult(
-        trace=_build_trace(config, nodes, async_rounds),
-        wall_seconds=wall,
-        messages_sent=transport.sent_count,
-        nodes=nodes,
-    )
+    backend = config.to_backend()
+    return _to_result(await backend.execute_async(config.to_spec()))
 
 
 def run_deployment(config: DeploymentConfig) -> DeploymentResult:
     """Synchronous entry point (creates its own event loop)."""
-    return asyncio.run(run_deployment_async(config))
-
-
-def _build_trace(
-    config: DeploymentConfig,
-    nodes: dict[int, DeployedNode],
-    async_rounds: set[int],
-) -> Trace:
-    # Merge every node's local tree into one omniscient analysis tree.
-    tree = BlockTree([genesis_block()])
-    buffer = BlockBuffer(tree)
-    pending = []
-    for node in nodes.values():
-        local = node.process.tree
-        for tip in local.tips():
-            for block_id in local.path(tip):
-                pending.append(local.get(block_id))
-    for block in sorted(pending, key=lambda b: b.view):
-        buffer.offer(block)
-
-    trace = Trace(
-        n=config.n,
-        tree=tree,
-        meta={
-            "protocol": config.protocol,
-            "eta": config.eta if config.protocol == "resilient" else 0,
-            "delta_s": config.delta_s,
-            "deployment": True,
-        },
-    )
-    for r in range(config.rounds):
-        awake = (
-            config.schedule.awake(r) if config.schedule is not None else frozenset(range(config.n))
-        )
-        trace.rounds.append(
-            RoundRecord(
-                round=r,
-                awake=awake,
-                honest=awake,
-                byzantine=frozenset(),
-                asynchronous=r in async_rounds,
-                votes_sent=0,
-                proposes_sent=0,
-                other_sent=0,
-            )
-        )
-    for node in nodes.values():
-        trace.decisions.extend(node.decisions)
-    trace.decisions.sort(key=lambda d: (d.round, d.pid))
-    return trace
+    backend = config.to_backend()
+    return _to_result(backend.execute(config.to_spec()))

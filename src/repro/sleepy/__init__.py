@@ -36,7 +36,7 @@ from repro.sleepy.network import (
     SynchronousNetwork,
     WindowedAsynchrony,
 )
-from repro.sleepy.process import Process
+from repro.sleepy.process import Process, ProcessFactory
 from repro.sleepy.schedule import (
     DiurnalSchedule,
     FullParticipation,
@@ -45,8 +45,19 @@ from repro.sleepy.schedule import (
     SpikeSchedule,
     TableSchedule,
 )
-from repro.sleepy.simulator import Simulation
 from repro.sleepy.trace import DecisionEvent, RoundRecord, Trace
+
+
+def __getattr__(name: str):
+    # Lazy: the simulator sits on top of repro.engine (message bus,
+    # shared model enforcement), which in turn imports this package's
+    # leaf modules — importing it eagerly here would re-enter partially
+    # initialised modules whenever a leaf is the import entry point.
+    if name == "Simulation":
+        from repro.sleepy.simulator import Simulation
+
+        return Simulation
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Adversary",
@@ -62,6 +73,7 @@ __all__ = [
     "NetworkModel",
     "NullAdversary",
     "Process",
+    "ProcessFactory",
     "ProposeMessage",
     "RandomAdversary",
     "RandomChurnSchedule",

@@ -74,5 +74,10 @@ class MultiWindowAsynchrony(NetworkModel):
             if start_b <= end_a:
                 raise ValueError("asynchrony windows overlap")
 
+    @property
+    def windows(self) -> tuple[tuple[int, int], ...]:
+        """The ``(ra, pi)`` pairs this model was built from."""
+        return tuple((w.ra, w.pi) for w in self._windows)
+
     def is_asynchronous(self, round_number: int) -> bool:
         return any(w.is_asynchronous(round_number) for w in self._windows)

@@ -10,9 +10,14 @@ processes are simply not consulted — they "do not execute the protocol".
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.sleepy.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crypto.signatures import SecretKey
+    from repro.sleepy.messages import CachedVerifier
 
 
 class Process(ABC):
@@ -33,3 +38,8 @@ class Process(ABC):
         phase — for a synchronous round, all messages sent in rounds
         ``≤ round_number`` not delivered to this process before.
         """
+
+
+#: Builds the honest process for ``pid``.  Receives the process id, its
+#: secret key, and the run-shared cached verifier.
+ProcessFactory = Callable[[int, "SecretKey", "CachedVerifier"], Process]

@@ -4,9 +4,9 @@ Each round ``r``:
 
 1. **Send phase** — every well-behaved process in ``H_r`` multicasts the
    messages its protocol dictates; Byzantine processes multicast
-   whatever the adversary crafts.  All messages enter the global pool
-   (the peer-to-peer dissemination layer, which keeps messages alive
-   even if the sender goes to sleep).
+   whatever the adversary crafts.  All messages enter the
+   :class:`~repro.engine.bus.MessageBus` (the peer-to-peer dissemination
+   layer, which keeps messages alive even if the sender goes to sleep).
 2. **Receive phase** — every well-behaved process in ``H_{r+1}``
    receives messages: in a synchronous round, *all* messages sent in
    rounds ``≤ r`` it has not yet received (which realises queue-on-sleep
@@ -17,30 +17,35 @@ The engine enforces the model's fine print: the adversary's delivery
 choice must be a subset of what is deliverable, corruption must be
 monotone for a growing adversary, Byzantine processes never sleep, and
 asleep processes are never consulted.
+
+This module is the simulator half of the unified execution engine; the
+shared pieces (message bus, corruption tracking, message accounting)
+live in :mod:`repro.engine` and are also used by the asyncio deployment
+runner.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
-
 from repro.chain.block import genesis_block
 from repro.chain.store import BlockBuffer
 from repro.chain.tree import BlockTree
-from repro.crypto.signatures import KeyRegistry, SecretKey
+from repro.crypto.signatures import KeyRegistry
+from repro.engine.backend import (
+    CorruptionTracker,
+    check_adversary_message,
+    check_honest_message,
+    count_kinds,
+)
+from repro.engine.bus import MessageBus
+from repro.engine.errors import ModelViolationError, UndeliverableMessageError
 from repro.sleepy.adversary import Adversary, AdversaryContext
-from repro.sleepy.messages import CachedVerifier, Message, ProposeMessage, VoteMessage
+from repro.sleepy.messages import CachedVerifier, Message, ProposeMessage
 from repro.sleepy.network import NetworkModel
-from repro.sleepy.process import Process
+from repro.sleepy.process import Process, ProcessFactory
 from repro.sleepy.schedule import SleepSchedule
 from repro.sleepy.trace import DecisionEvent, RoundRecord, Trace
 
-#: Builds the honest process for ``pid``.  Receives the process id, its
-#: secret key, and the run-shared cached verifier.
-ProcessFactory = Callable[[int, SecretKey, CachedVerifier], Process]
-
-
-class ModelViolationError(RuntimeError):
-    """An actor stepped outside the power the model grants it."""
+__all__ = ["ModelViolationError", "ProcessFactory", "Simulation"]
 
 
 class Simulation:
@@ -67,17 +72,15 @@ class Simulation:
         self._tree = BlockTree([genesis_block()])
         self._tree_buffer = BlockBuffer(self._tree)
         self._ctx = AdversaryContext(registry, self._tree)
+        self._corruption = CorruptionTracker(adversary, self._ctx)
 
         self.processes: dict[int, Process] = {
             pid: process_factory(pid, registry.secret_key(pid), self._verifier)
             for pid in range(registry.n)
         }
 
-        self._pool: list[Message] = []
-        self._pool_ids: set[str] = set()
-        self._cursor: dict[int, int] = {pid: 0 for pid in range(registry.n)}
-        self._extras: dict[int, set[str]] = {pid: set() for pid in range(registry.n)}
-        self._byz_prev: frozenset[int] = frozenset()
+        #: The dissemination layer (indexed per-recipient delivery state).
+        self.bus = MessageBus(registry.n)
         self.trace = Trace(n=registry.n, tree=self._tree, meta=dict(meta or {}))
 
     # ------------------------------------------------------------------
@@ -91,55 +94,41 @@ class Simulation:
         return self.trace
 
     def _run_round(self, r: int) -> None:
-        byz = self._corrupted(r)
+        byz = self._corruption.corrupted(r)
         honest = self.schedule.awake(r) - byz
         awake = honest | byz  # Byzantine processes never sleep (§2.1).
         self._ctx.round = r
-        pool_start = len(self._pool)
+        self.bus.begin_round(r)
         decisions: list[DecisionEvent] = []
 
         # --- Send phase ---------------------------------------------------
         for pid in sorted(honest):
             process = self.processes[pid]
             for message in process.send(r):
-                if message.sender != pid:
-                    raise ModelViolationError(f"honest process {pid} signed as {message.sender}")
-                if message.round != r:
-                    raise ModelViolationError(
-                        f"honest process {pid} mis-tagged round {message.round} at round {r}"
-                    )
+                check_honest_message(message, pid, r)
                 self._publish(message)
             decisions.extend(self._drain_decisions(process))
         for message in self.adversary.send(r, self._ctx):
-            if message.sender not in byz:
-                raise ModelViolationError(
-                    f"adversary sent as process {message.sender}, which is not corrupted"
-                )
+            check_adversary_message(message, byz)
             self._publish(message)
 
-        votes, proposes, other = self._count(self._pool[pool_start:])
+        votes, proposes, other = count_kinds(self.bus.round_messages(r))
 
         # --- Receive phase --------------------------------------------------
         asynchronous = self.network.is_asynchronous(r)
-        receivers = self.schedule.awake(r + 1) - self._corrupted_peek(r + 1)
+        receivers = self.schedule.awake(r + 1) - self._corruption.peek(r + 1)
         for pid in sorted(receivers):
-            deliverable = [
-                m for m in self._pool[self._cursor[pid]:] if m.message_id not in self._extras[pid]
-            ]
             if asynchronous:
-                chosen = list(self.adversary.deliver(r, pid, deliverable, self._ctx))
-                allowed = {m.message_id for m in deliverable}
-                for m in chosen:
-                    if m.message_id not in allowed:
-                        raise ModelViolationError(
-                            "adversary delivered a message outside the deliverable set"
-                        )
-                self._extras[pid].update(m.message_id for m in chosen)
-                delivered = chosen
+                deliverable = self.bus.deliverable(pid)
+                delivered = list(self.adversary.deliver(r, pid, deliverable, self._ctx))
+                try:
+                    self.bus.deliver_chosen(pid, delivered, pending=deliverable)
+                except UndeliverableMessageError:
+                    raise ModelViolationError(
+                        "adversary delivered a message outside the deliverable set"
+                    ) from None
             else:
-                delivered = deliverable
-                self._cursor[pid] = len(self._pool)
-                self._extras[pid].clear()
+                delivered = self.bus.deliver_all(pid)
             if delivered:
                 self.processes[pid].receive(r, delivered)
 
@@ -160,39 +149,11 @@ class Simulation:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _corrupted(self, r: int) -> frozenset[int]:
-        byz = self.adversary.byzantine(r)
-        if self.adversary.growing and not byz >= self._byz_prev:
-            raise ModelViolationError("growing adversary shrank its corrupted set")
-        self._byz_prev = byz
-        for pid in byz:
-            self._ctx.grant_key(pid)
-        return byz
-
-    def _corrupted_peek(self, r: int) -> frozenset[int]:
-        # Reading B_{r+1} for the receive phase must not disturb the
-        # monotonicity tracking that _corrupted() performs.
-        return self.adversary.byzantine(r)
-
     def _publish(self, message: Message) -> None:
-        if message.message_id in self._pool_ids:
+        if not self.bus.publish(message):
             return
-        self._pool_ids.add(message.message_id)
-        self._pool.append(message)
         if isinstance(message, ProposeMessage) and message.block is not None:
             self._tree_buffer.offer(message.block)
-
-    @staticmethod
-    def _count(messages: Iterable[Message]) -> tuple[int, int, int]:
-        votes = proposes = other = 0
-        for message in messages:
-            if isinstance(message, VoteMessage):
-                votes += 1
-            elif isinstance(message, ProposeMessage):
-                proposes += 1
-            else:
-                other += 1
-        return votes, proposes, other
 
     @staticmethod
     def _drain_decisions(process: Process) -> list[DecisionEvent]:

@@ -24,6 +24,8 @@ from repro.workloads.scenarios import (
     churn_scenario,
     ethereum_outage_scenario,
     split_vote_attack_scenario,
+    surge_scenario,
+    throughput_scenario,
 )
 from repro.workloads.transactions import burst_stream, constant_rate_stream
 
@@ -41,4 +43,6 @@ __all__ = [
     "outage",
     "split_vote_attack_scenario",
     "stable",
+    "surge_scenario",
+    "throughput_scenario",
 ]

@@ -3,17 +3,25 @@
 Benches, examples, and integration tests share these constructors so
 that "the attack from §1" or "the Ethereum outage" means exactly the
 same configuration everywhere.
+
+Every scenario is a :class:`~repro.engine.spec.RunSpec` (the engine's
+substrate-independent run description, public as
+:class:`~repro.harness.TOBRunConfig`): asynchronous periods are
+expressed as :class:`~repro.engine.conditions.NetworkConditions`, so
+the same scenario runs on the deterministic round simulator *and* —
+where its powers exist physically — on the asyncio deployment backend.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 
+from repro.engine.conditions import NetworkConditions
 from repro.harness import TOBRunConfig
 from repro.protocols.graded_agreement import DEFAULT_BETA
 from repro.sleepy.adversary import CrashAdversary, SplitVoteAttack, WithholdingAdversary
-from repro.sleepy.network import WindowedAsynchrony
 from repro.workloads.participation import churn_walk, ethereum_may_2023
+from repro.workloads.transactions import constant_rate_stream
 
 
 def split_vote_attack_scenario(
@@ -43,7 +51,7 @@ def split_vote_attack_scenario(
         eta=eta,
         beta=beta,
         adversary=SplitVoteAttack(byz, target_round=target_round),
-        network=WindowedAsynchrony(ra=target_round - pi, pi=pi),
+        conditions=NetworkConditions.window(ra=target_round - pi, pi=pi),
         seed=seed,
         meta={"scenario": "split-vote-attack", "pi": pi, "ra": target_round - pi},
     )
@@ -65,7 +73,7 @@ def blackout_scenario(
         protocol=protocol,
         eta=eta,
         adversary=WithholdingAdversary(),
-        network=WindowedAsynchrony(ra=ra, pi=pi),
+        conditions=NetworkConditions.window(ra=ra, pi=pi),
         seed=seed,
         meta={"scenario": "blackout", "pi": pi, "ra": ra},
     )
@@ -120,4 +128,57 @@ def churn_scenario(
         adversary=adversary,
         seed=seed,
         meta={"scenario": "churn", "gamma": gamma, "byzantine": byzantine},
+    )
+
+
+def surge_scenario(
+    protocol: str = "resilient",
+    eta: int = 4,
+    ra: int = 7,
+    pi: int = 2,
+    surge_factor: float = 25.0,
+    n: int = 10,
+    rounds: int = 20,
+    seed: int = 0,
+) -> TOBRunConfig:
+    """An asynchronous period with no Byzantine help, on either substrate.
+
+    On the simulator the period is adversary-controllable delivery; on
+    the deployment backend it is a ``surge_factor×`` latency spike.  The
+    resilient protocol must stay safe through it and decide afterwards
+    (Theorem 3 healing).
+    """
+    return TOBRunConfig(
+        n=n,
+        rounds=rounds,
+        protocol=protocol,
+        eta=eta,
+        conditions=NetworkConditions.window(ra=ra, pi=pi, surge_factor=surge_factor),
+        seed=seed,
+        meta={"scenario": "surge", "pi": pi, "ra": ra},
+    )
+
+
+def throughput_scenario(
+    protocol: str = "resilient",
+    eta: int = 2,
+    n: int = 10,
+    rounds: int = 30,
+    rate_per_round: int = 8,
+    seed: int = 0,
+) -> TOBRunConfig:
+    """A steady client transaction load, on either substrate.
+
+    Through the unified engine the same seeded arrival stream feeds the
+    simulator's mempools and a deployment's — the throughput/latency
+    analysis in :mod:`repro.analysis` applies to both traces.
+    """
+    return TOBRunConfig(
+        n=n,
+        rounds=rounds,
+        protocol=protocol,
+        eta=eta,
+        transactions=constant_rate_stream(rate_per_round, rounds, seed=seed),
+        seed=seed,
+        meta={"scenario": "throughput", "rate_per_round": rate_per_round},
     )

@@ -2,12 +2,30 @@
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.chain.block import Block, genesis_block
 from repro.chain.tree import BlockTree
 from repro.crypto.signatures import KeyRegistry
 from repro.sleepy.messages import CachedVerifier
+
+
+def subprocess_env() -> dict[str, str]:
+    """Env for subprocesses that import ``repro`` (examples, ``-m repro``).
+
+    Subprocesses do not inherit pytest's ``pythonpath`` ini setting, so
+    ``src/`` must be forwarded through ``PYTHONPATH`` explicitly.
+    """
+    src = Path(__file__).resolve().parents[1] / "src"
+    return {
+        **os.environ,
+        "PYTHONPATH": os.pathsep.join(
+            p for p in (str(src), os.environ.get("PYTHONPATH")) if p
+        ),
+    }
 
 
 @pytest.fixture

@@ -1,0 +1,139 @@
+"""One spec, two substrates: the ExecutionBackend contract.
+
+These tests exercise what the unified engine opened up: transaction
+workloads and adversaries on the deployment substrate, asynchronous
+periods described once and realised on both, and protocol dispatch
+through the registry everywhere.
+"""
+
+import pytest
+
+from repro.analysis.checkers import check_safety
+from repro.engine.backend import run_spec
+from repro.engine.conditions import NetworkConditions, conditions_from_network
+from repro.engine.deploy_backend import DeploymentBackend
+from repro.engine.sim_backend import SimulationBackend
+from repro.engine.spec import RunSpec
+from repro.sleepy.adversary import CrashAdversary, EquivocatingVoteAdversary
+from repro.sleepy.network import (
+    MultiWindowAsynchrony,
+    SynchronousNetwork,
+    WindowedAsynchrony,
+)
+from repro.workloads import surge_scenario, throughput_scenario
+
+FAST_DEPLOY = DeploymentBackend(delta_s=0.02)
+
+
+def decided_payload_count(trace) -> int:
+    deepest = max((d.tip for d in trace.decisions), key=trace.tree.depth, default=None)
+    if deepest is None:
+        return 0
+    return sum(len(trace.tree.get(b).payload) for b in trace.tree.path(deepest))
+
+
+def test_run_spec_defaults_to_the_simulator():
+    result = run_spec(RunSpec(n=4, rounds=8))
+    assert result.backend == "simulator"
+    assert result.trace.decisions
+    assert result.messages_sent > 0
+    assert result.wall_seconds >= 0.0
+
+
+def test_throughput_scenario_runs_on_both_substrates():
+    spec = throughput_scenario(n=5, rounds=12, rate_per_round=4, seed=3)
+    sim = run_spec(spec, SimulationBackend())
+    deploy = run_spec(spec, FAST_DEPLOY)
+    for result in (sim, deploy):
+        assert check_safety(result.trace).ok
+        # The client load actually lands in decided blocks.
+        assert decided_payload_count(result.trace) > 0
+    assert deploy.backend == "deployment"
+    assert deploy.trace.meta["deployment"] is True
+
+
+def test_surge_scenario_realised_on_both_substrates():
+    spec = surge_scenario(n=5, rounds=14, ra=5, pi=2, eta=4, seed=2)
+    sim = run_spec(spec, SimulationBackend())
+    deploy = run_spec(spec, FAST_DEPLOY)
+    for result in (sim, deploy):
+        trace = result.trace
+        assert check_safety(trace).ok
+        assert [r.round for r in trace.rounds if r.asynchronous] == [6, 7]
+        # Healing: decisions resume after the period ends.
+        assert any(d.round > 7 for d in trace.decisions)
+
+
+def test_crash_adversary_carves_corrupted_nodes_out_of_deployments():
+    spec = RunSpec(n=5, rounds=12, protocol="resilient", eta=2, adversary=CrashAdversary([4]), seed=1)
+    result = run_spec(spec, FAST_DEPLOY)
+    trace = result.trace
+    assert check_safety(trace).ok
+    assert trace.decisions
+    for rec in trace.rounds:
+        assert rec.byzantine == frozenset({4})
+        assert 4 not in rec.honest and 4 in rec.awake
+    # The corrupted node never executed the honest protocol.
+    assert result.extras["nodes"][4].rounds_participated == []
+    assert all(d.pid != 4 for d in trace.decisions)
+
+
+def test_non_growing_adversary_releases_nodes_mid_deployment():
+    """A node corrupted for a prefix of the run must resume the honest
+    protocol — including the receive phase of its last corrupted round
+    (receivers are ``O_{r+1} \\ B_{r+1}``, exactly as in the simulator)."""
+
+    class TemporaryCrash(CrashAdversary):
+        growing = False
+
+        def byzantine(self, round_number):
+            return frozenset({4}) if round_number < 5 else frozenset()
+
+    spec = RunSpec(n=5, rounds=14, protocol="resilient", eta=2, adversary=TemporaryCrash([4]), seed=6)
+    result = run_spec(spec, FAST_DEPLOY)
+    trace = result.trace
+    assert check_safety(trace).ok
+    assert all(rec.byzantine == (frozenset({4}) if rec.round < 5 else frozenset()) for rec in trace.rounds)
+    node = result.extras["nodes"][4]
+    # Honest again from round 5 on: sends every round, and its round-4
+    # receive phase (it is in O_5 \ B_5) caught it up on the backlog.
+    assert node.rounds_participated == list(range(5, 14))
+    assert any(d.pid == 4 for d in trace.decisions)
+
+
+def test_equivocating_adversary_sends_through_the_deployment():
+    spec = RunSpec(
+        n=6, rounds=12, protocol="resilient", eta=2, adversary=EquivocatingVoteAdversary([5]), seed=4
+    )
+    result = run_spec(spec, FAST_DEPLOY)
+    trace = result.trace
+    assert check_safety(trace).ok
+    assert trace.decisions
+    # The adversary's equivocating proposals were actually multicast:
+    # round records count two proposes from pid 5 on top of the honest ones.
+    even_rounds = [r for r in trace.rounds if r.round >= 2 and r.round % 2 == 0]
+    assert any(rec.proposes_sent > len(rec.honest) for rec in even_rounds)
+
+
+def test_conditions_translate_simulator_network_models():
+    assert conditions_from_network(SynchronousNetwork()).periods == ()
+    (p,) = conditions_from_network(WindowedAsynchrony(ra=3, pi=2)).periods
+    assert (p.ra, p.pi) == (3, 2)
+    multi = conditions_from_network(MultiWindowAsynchrony([(2, 1), (8, 2)]))
+    assert [(p.ra, p.pi) for p in multi.periods] == [(2, 1), (8, 2)]
+    with pytest.raises(ValueError, match="NetworkConditions"):
+        conditions_from_network(object())  # type: ignore[arg-type]
+
+
+def test_conditions_round_trip_through_network_model():
+    conditions = NetworkConditions.window(ra=4, pi=3)
+    model = conditions.network_model()
+    horizon = 12
+    assert {r for r in range(horizon) if model.is_asynchronous(r)} == set(
+        conditions.async_rounds(horizon)
+    )
+
+
+def test_spec_rejects_both_network_and_conditions():
+    with pytest.raises(ValueError, match="not both"):
+        RunSpec(n=2, rounds=2, network=SynchronousNetwork(), conditions=NetworkConditions())

@@ -6,8 +6,12 @@ from pathlib import Path
 
 import pytest
 
+from tests.conftest import subprocess_env
+
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+ENV = subprocess_env()
 
 
 def test_examples_exist():
@@ -23,6 +27,7 @@ def test_example_runs_clean(path):
         capture_output=True,
         text=True,
         timeout=180,
+        env=ENV,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "examples must narrate their run"

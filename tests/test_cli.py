@@ -71,11 +71,14 @@ def test_module_entry_point():
     import subprocess
     import sys
 
+    from tests.conftest import subprocess_env
+
     result = subprocess.run(
         [sys.executable, "-m", "repro", "figure1", "--points", "3"],
         capture_output=True,
         text=True,
         timeout=60,
+        env=subprocess_env(),
     )
     assert result.returncode == 0
     assert "Figure 1" in result.stdout
