@@ -27,6 +27,9 @@ from repro.sleepy.schedule import TableSchedule
 
 N, ROUNDS, ETA = 30, 40, 6
 SLEEP_AT = 14  # a third of the honest population sleeps after this round
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "eta": ETA, "sleep_at": SLEEP_AT}
+
 
 
 def run_sized(byz_count: int) -> dict:

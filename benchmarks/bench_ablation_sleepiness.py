@@ -29,6 +29,9 @@ from repro.sleepy.schedule import RandomChurnSchedule
 
 THIRD = Fraction(1, 3)
 N, ROUNDS, ETA = 24, 30, 4
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "eta": ETA}
+
 
 
 def classify(seed: int, churn_per_round: float, byz_count: int, gamma: Fraction) -> dict:

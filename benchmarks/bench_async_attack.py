@@ -15,6 +15,9 @@ from repro.workloads import split_vote_attack_scenario
 
 TARGET = 10
 N = 20
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": N, "target_round": TARGET}
+
 
 
 def run_one(protocol: str, eta: int, pi: int) -> dict:

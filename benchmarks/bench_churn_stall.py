@@ -23,6 +23,9 @@ from repro.workloads import RampSchedule
 
 N, ROUNDS = 60, 44
 DROP_START = 10
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "drop_start": DROP_START}
+
 
 
 def run_decline(protocol: str, eta: int, length: int) -> dict:

@@ -15,6 +15,9 @@ from repro.workloads import ethereum_outage_scenario
 N, ROUNDS = 100, 36
 
 
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "eta": 3}
+
 def sustained_level(level: float) -> dict:
     keep = max(1, int(level * N))
     # Drop to `keep` processes from round 8 onwards.

@@ -28,6 +28,9 @@ from dataclasses import dataclass
 from repro.analysis import format_table
 from repro.engine.bus import MessageBus
 
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": 50, "rounds": 200, "async_window": [80, 120]}
+
 
 @dataclass(frozen=True)
 class Msg:

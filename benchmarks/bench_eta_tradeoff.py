@@ -22,6 +22,9 @@ from repro.workloads import churn_walk
 
 N, ROUNDS = 30, 50
 PER_ROUND_CHURN = Fraction(2, 100)
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "churn_per_round": str(PER_ROUND_CHURN)}
+
 
 
 def run_eta(eta: int) -> dict:

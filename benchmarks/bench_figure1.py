@@ -25,6 +25,9 @@ THIRD = Fraction(1, 3)
 #: seconds while still executing the full code path.
 TINY = os.environ.get("REPRO_BENCH_TINY", "0").strip() in ("1", "true", "yes")
 
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"tiny": TINY, "beta": str(THIRD)}
+
 
 def analytic_tables() -> str:
     rows = []

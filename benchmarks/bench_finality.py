@@ -32,6 +32,9 @@ from repro.sleepy import (
 
 N = 20
 HONEST = 16
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": N, "honest": HONEST}
+
 
 
 def run_attack(protocol: str, eta: int) -> dict:

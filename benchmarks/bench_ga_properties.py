@@ -14,6 +14,9 @@ from repro.chain.block import GENESIS_TIP, Block, genesis_block
 from repro.chain.tree import BlockTree
 from repro.core.extended_ga import ExtendedGAInstance, InitialVote
 
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"instances": "property-suite"}
+
 PROPERTIES = (
     "graded_consistency",
     "integrity",

@@ -12,6 +12,9 @@ from repro.harness import run_tob
 from repro.workloads import blackout_scenario, split_vote_attack_scenario
 
 
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": 20, "ra": 9, "rounds": 32, "target_round": 10}
+
 def test_healing(benchmark, record):
     def experiment():
         rows = []

@@ -24,6 +24,9 @@ from repro.workloads import churn_walk
 
 SEEDS = range(20)
 N, ROUNDS = 20, 40
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "seeds": len(SEEDS)}
+
 
 
 def measure(protocol: str, eta: int, churn: bool) -> dict:

@@ -18,6 +18,9 @@ from repro.harness import run_tob
 from repro.workloads import split_vote_attack_scenario
 
 
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": 20, "target_round": 10}
+
 def run_cell(eta: int, pi: int) -> dict:
     target = 10 + pi  # keep the attacked round's pre-window identical
     config = split_vote_attack_scenario(

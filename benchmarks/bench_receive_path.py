@@ -1,0 +1,272 @@
+"""E2 — receive-phase ingestion: per-message verify/record vs shared batches.
+
+PR 1's indexed bus removed the delivery bottleneck; profiling then
+pointed at :meth:`SleepyTOBProcess.receive` — per-message cached
+verification (a digest lookup *per message per receiver*), per-vote
+``LatestVoteStore.record`` calls, and a full per-sender scan in every
+``prune``.  The batched ingest pipeline moves all shareable work to one
+pass per *delivery*: verification and classification happen once per
+logical message run-wide, the per-round vote table is resolved once and
+adopted by each receiver as a dict copy, and the round-bucketed vote
+store prunes by popping buckets.
+
+This bench replays identical message schedules (real signatures, real
+blocks) through both receive paths at the acceptance configuration
+n = 200 and reports the receive-phase speedup.  The legacy path is the
+pre-refactor implementation preserved verbatim below; the new path is
+the actual :class:`ResilientTOBProcess` over the actual
+:class:`IngestPipeline`.
+
+Wall-clock gates run off CI only (shared runners are noisy); CI pins
+the deterministic counters instead: one crypto verification per logical
+message, one classified batch per round.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.chain.block import Block, genesis_block
+from repro.chain.store import BlockBuffer
+from repro.chain.tree import BlockTree
+from repro.core.resilient_tob import ResilientTOBProcess
+from repro.crypto.signatures import KeyRegistry
+from repro.engine.ingest import IngestPipeline
+from repro.sleepy.messages import (
+    ProposeMessage,
+    VoteMessage,
+    make_propose,
+    make_vote,
+    verify_message,
+)
+
+BENCH_CONFIG = {
+    "n": 200,
+    "rounds": 30,
+    "eta": 2,
+    "proposers_per_round": 8,
+    "repeats": 5,
+    "seed": 0,
+}
+
+_MISSING = object()
+
+
+# ----------------------------------------------------------------------
+# The pre-refactor receive path, verbatim (the baseline)
+# ----------------------------------------------------------------------
+class LegacyCachedVerifier:
+    """The pre-refactor run-shared verifier (memo keyed by message_id)."""
+
+    def __init__(self, registry: KeyRegistry) -> None:
+        self._registry = registry
+        self._memo: dict[str, bool] = {}
+
+    def verify(self, message) -> bool:
+        key = message.message_id
+        result = self._memo.get(key)
+        if result is None:
+            result = verify_message(self._registry, message)
+            self._memo[key] = result
+        return result
+
+
+class LegacyLatestVoteStore:
+    """The pre-refactor per-sender vote store, verbatim."""
+
+    def __init__(self) -> None:
+        self._by_sender: dict[int, dict[int, object]] = {}
+
+    _EQUIVOCATED = object()
+    _MISSING = object()
+
+    def record(self, sender: int, round_number: int, tip) -> None:
+        rounds = self._by_sender.setdefault(sender, {})
+        existing = rounds.get(round_number, self._MISSING)
+        if existing is self._MISSING:
+            rounds[round_number] = tip
+        elif existing is not self._EQUIVOCATED and existing != tip:
+            rounds[round_number] = self._EQUIVOCATED
+
+    def latest(self, window_lo: int, window_hi: int) -> dict:
+        if window_lo > window_hi:
+            return {}
+        result: dict = {}
+        for sender, rounds in self._by_sender.items():
+            best_round = -1
+            for r in rounds:
+                if window_lo <= r <= window_hi and r > best_round:
+                    best_round = r
+            if best_round < 0:
+                continue
+            tip = rounds[best_round]
+            if tip is self._EQUIVOCATED:
+                continue
+            result[sender] = tip
+        return result
+
+    def equivocators(self) -> frozenset[int]:
+        return frozenset(
+            sender
+            for sender, rounds in self._by_sender.items()
+            if any(tip is self._EQUIVOCATED for tip in rounds.values())
+        )
+
+    def prune(self, before_round: int) -> int:
+        dropped = 0
+        for sender in list(self._by_sender):
+            rounds = self._by_sender[sender]
+            stale = [r for r in rounds if r < before_round]
+            for r in stale:
+                del rounds[r]
+            dropped += len(stale)
+            if not rounds:
+                del self._by_sender[sender]
+        return dropped
+
+
+class LegacyReceiver:
+    """Pre-refactor ``SleepyTOBProcess`` receive phase, verbatim logic."""
+
+    def __init__(self, pid: int, verifier: LegacyCachedVerifier, eta: int) -> None:
+        self.pid = pid
+        self._verifier = verifier
+        self._eta = eta
+        self.tree = BlockTree([genesis_block()])
+        self._buffer = BlockBuffer(self.tree)
+        self._votes = LegacyLatestVoteStore()
+        self._proposals: dict[int, dict[int, ProposeMessage | None]] = {}
+
+    def receive(self, round_number: int, messages) -> None:
+        for message in messages:
+            if not self._verifier.verify(message):
+                continue
+            if isinstance(message, VoteMessage):
+                self._votes.record(message.sender, message.round, message.tip)
+            elif isinstance(message, ProposeMessage):
+                self._record_proposal(message, round_number)
+        self._prune_proposals(round_number)
+        self._votes.prune(round_number - self._eta)
+
+    def _record_proposal(self, message: ProposeMessage, round_number: int) -> None:
+        if message.view > round_number // 2 + 1:
+            return
+        self._buffer.offer(message.block)
+        per_view = self._proposals.setdefault(message.view, {})
+        existing = per_view.get(message.sender, _MISSING)
+        if existing is _MISSING:
+            per_view[message.sender] = message
+        elif existing is not None and existing.tip != message.tip:
+            per_view[message.sender] = None
+
+    def _prune_proposals(self, round_number: int) -> None:
+        current_view = (round_number + 1) // 2
+        horizon = current_view - 2
+        for view in [v for v in self._proposals if v < horizon]:
+            del self._proposals[view]
+
+
+# ----------------------------------------------------------------------
+# Schedule generation and replay
+# ----------------------------------------------------------------------
+def build_schedule(registry: KeyRegistry, n: int, rounds: int, proposers_per_round: int):
+    """Per-round delivery tuples: n votes plus proposals on even rounds.
+
+    Real signatures and VRFs over a growing block chain, mirroring what
+    the bus hands every caught-up receiver (one shared tuple per round).
+    """
+    keys = [registry.secret_key(pid) for pid in range(n)]
+    batches = []
+    parent = genesis_block()
+    tip = parent.block_id
+    for r in range(rounds):
+        messages = []
+        if r % 2 == 0:
+            view = r // 2 + 1
+            block = Block(parent=tip, proposer=r % n, view=view)
+            for proposer in range(proposers_per_round):
+                messages.append(make_propose(registry, keys[proposer], r, view, block))
+            tip = block.block_id
+        for pid in range(n):
+            messages.append(make_vote(registry, keys[pid], r, tip))
+        batches.append(tuple(messages))
+    return batches
+
+
+def replay_legacy(registry: KeyRegistry, batches, n: int, eta: int) -> tuple[float, object]:
+    verifier = LegacyCachedVerifier(registry)
+    receivers = [LegacyReceiver(pid, verifier, eta) for pid in range(n)]
+    started = time.perf_counter()
+    for r, batch in enumerate(batches):
+        for receiver in receivers:
+            receiver.receive(r, batch)
+    return time.perf_counter() - started, receivers[0]
+
+
+def replay_batched(registry: KeyRegistry, batches, n: int, eta: int):
+    pipeline = IngestPipeline(registry)
+    processes = [
+        ResilientTOBProcess(pid, registry.secret_key(pid), pipeline, eta=eta)
+        for pid in range(n)
+    ]
+    started = time.perf_counter()
+    for r, batch in enumerate(batches):
+        for process in processes:
+            process.receive(r, batch)
+    return time.perf_counter() - started, processes[0], pipeline
+
+
+def test_receive_path_speedup(record, bench_json):
+    n, rounds, eta = BENCH_CONFIG["n"], BENCH_CONFIG["rounds"], BENCH_CONFIG["eta"]
+    repeats = BENCH_CONFIG["repeats"]
+    registry = KeyRegistry(n, run_seed=BENCH_CONFIG["seed"])
+    batches = build_schedule(registry, n, rounds, BENCH_CONFIG["proposers_per_round"])
+    unique_messages = sum(len(batch) for batch in batches)
+
+    legacy_samples, batched_samples = [], []
+    for _ in range(repeats):
+        legacy_s, legacy_ref = replay_legacy(registry, batches, n, eta)
+        batched_s, process_ref, pipeline = replay_batched(registry, batches, n, eta)
+        legacy_samples.append(legacy_s)
+        batched_samples.append(batched_s)
+
+    # Semantics did not move: both paths agree on the final vote window
+    # and the accountability output for a reference receiver.
+    lo, hi = rounds - 1 - eta, rounds - 1
+    assert legacy_ref._votes.latest(lo, hi) == process_ref._votes.latest(lo, hi)
+    assert legacy_ref._votes.equivocators() == process_ref._votes.equivocators()
+
+    # Deterministic shape of the pipeline's sharing (the CI gate): one
+    # crypto verification per logical message — not per receiver — and
+    # one classified batch per delivered tuple, reused by the other
+    # n − 1 receivers.
+    assert pipeline.stats["crypto_verifications"] == unique_messages
+    assert pipeline.stats["batches_built"] == rounds
+    assert pipeline.stats["batch_memo_hits"] == rounds * (n - 1)
+    assert pipeline.stats["rejected"] == 0
+
+    legacy_best, batched_best = min(legacy_samples), min(batched_samples)
+    speedup = legacy_best / batched_best
+    table = "\n".join(
+        [
+            f"receive phase, n={n}, rounds={rounds}, eta={eta} (best of {repeats}):",
+            f"  per-message path : {legacy_best * 1e3:8.1f} ms",
+            f"  batched ingest   : {batched_best * 1e3:8.1f} ms",
+            f"  speedup          : {speedup:8.1f}x",
+            f"  crypto verifications: {pipeline.stats['crypto_verifications']}"
+            f" ({unique_messages} logical messages, {n} receivers)",
+        ]
+    )
+    record(table)
+    bench_json(
+        batched_samples,
+        legacy_samples_s=legacy_samples,
+        legacy_median_s=sorted(legacy_samples)[len(legacy_samples) // 2],
+        speedup_best=speedup,
+        messages=unique_messages,
+    )
+
+    # Wall-clock gate off CI only (the acceptance criterion: ≥3x at n=200).
+    if not os.environ.get("CI"):
+        assert speedup >= 3.0, f"receive-path speedup regressed: {speedup:.2f}x"

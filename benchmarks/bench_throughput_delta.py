@@ -25,6 +25,9 @@ COMMON_DELTA = 0.02
 SURGE_FACTOR = 12.0
 CONSERVATIVE_DELTA = COMMON_DELTA * SURGE_FACTOR
 N = 6
+#: Machine-readable run configuration (recorded in BENCH_*.json).
+BENCH_CONFIG = {"n": N, "delta_s": COMMON_DELTA, "surge_factor": SURGE_FACTOR}
+
 
 
 def deploy(protocol: str, eta: int, delta_s: float, rounds: int, surge) -> dict:

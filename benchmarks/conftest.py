@@ -1,24 +1,39 @@
 """Shared benchmark fixtures.
 
 Every bench regenerates one paper table/figure/claim (see DESIGN.md §4)
-and reports it two ways:
+and reports it three ways:
 
 * printed to stdout (visible with ``pytest benchmarks/ --benchmark-only -s``
-  or in the teed bench output), and
+  or in the teed bench output),
 * written to ``benchmarks/results/<bench>.txt`` so EXPERIMENTS.md can
-  embed the measured tables verbatim.
+  embed the measured tables verbatim, and
+* aggregated into a machine-readable ``BENCH_<name>.json`` at the repo
+  root (one file per bench module; per-test median/p95 seconds plus the
+  module's ``BENCH_CONFIG``), so the perf trajectory is comparable
+  across PRs and CI uploads the numbers as artifacts.
 
-The pytest-benchmark fixture wraps the experiment body, so the timing
-columns of the benchmark summary measure the full experiment.
+JSON emission is automatic: an autouse fixture wall-times every bench
+test and records one sample.  Benches that repeat their measured kernel
+(receive path, bus replay) call the ``bench_json`` fixture instead with
+their real per-repeat samples and exact config.
 """
 
 from __future__ import annotations
 
+import json
+import math
+import statistics
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Tests that wrote their own (richer) JSON entry this session; the
+#: autouse wall-clock fallback skips them.
+_EXPLICIT_ENTRIES: set[str] = set()
 
 
 @pytest.fixture
@@ -33,3 +48,73 @@ def record(request):
         target.write_text(text + "\n")
 
     return _record
+
+
+def _p95(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, math.ceil(0.95 * len(ordered)) - 1)]
+
+
+def _bench_name(request) -> str:
+    return request.node.module.__name__.rsplit(".", 1)[-1].removeprefix("bench_")
+
+
+def write_bench_entry(
+    bench_name: str,
+    test_name: str,
+    samples_s: list[float],
+    config: dict,
+    extra: dict | None = None,
+) -> Path:
+    """Merge one test's measurement into ``BENCH_<bench_name>.json``."""
+    path = REPO_ROOT / f"BENCH_{bench_name}.json"
+    payload = {"bench": bench_name, "results": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing.get("results"), dict):
+                payload = existing
+        except (json.JSONDecodeError, OSError):
+            pass
+    payload["bench"] = bench_name
+    payload["results"][test_name] = {
+        "median_s": statistics.median(samples_s),
+        "p95_s": _p95(samples_s),
+        "samples_s": samples_s,
+        "config": config,
+        **(extra or {}),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture
+def bench_json(request):
+    """``bench_json(samples_s, config=None, **extra)``: explicit JSON entry.
+
+    ``samples_s`` are the per-repeat seconds of the measured kernel;
+    ``config`` defaults to the module's ``BENCH_CONFIG``; ``extra``
+    lands verbatim in the entry (speedups, counters, table paths).
+    """
+
+    def _write(samples_s: list[float], config: dict | None = None, **extra) -> Path:
+        _EXPLICIT_ENTRIES.add(request.node.nodeid)
+        if config is None:
+            config = dict(getattr(request.node.module, "BENCH_CONFIG", {}))
+        return write_bench_entry(
+            _bench_name(request), request.node.name, list(samples_s), config, extra
+        )
+
+    return _write
+
+
+@pytest.fixture(autouse=True)
+def _bench_json_fallback(request):
+    """Wall-time every bench test into its module's ``BENCH_*.json``."""
+    started = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - started
+    if request.node.nodeid in _EXPLICIT_ENTRIES:
+        return
+    config = dict(getattr(request.node.module, "BENCH_CONFIG", {}))
+    write_bench_entry(_bench_name(request), request.node.name, [elapsed], config)

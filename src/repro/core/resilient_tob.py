@@ -60,8 +60,8 @@ class ResilientTOBProcess(SleepyTOBProcess):
     def vote_window(self, ga_round: int) -> tuple[int, int]:
         return (max(0, ga_round - self.eta), ga_round)
 
-    def receive(self, round_number, messages):  # noqa: D102 - inherited docs
-        super().receive(round_number, messages)
+    def receive_batch(self, round_number, batch):  # noqa: D102 - inherited docs
+        super().receive_batch(round_number, batch)
         # Everything below the reach of any future window is expired.
         self._votes.prune(round_number - self.eta)
 

@@ -18,8 +18,15 @@ One protocol/adversary/schedule stack over both execution substrates:
   interface, :class:`EngineResult`, and the model logic every backend
   shares (corruption tracking, honest/adversary message checks,
   transaction arrival, trace metadata).
+* :mod:`repro.engine.ingest` — the shared message-ingestion pipeline
+  (:class:`IngestPipeline`): run-wide cached verification, message
+  interning, and per-delivery :class:`~repro.sleepy.messages.VerifiedBatch`
+  sharing between receivers.
 * :mod:`repro.engine.sim_backend` / :mod:`repro.engine.deploy_backend`
   — the two substrates.
+* :mod:`repro.engine.sweep` — :class:`ParallelSweepBackend` /
+  :func:`run_sweep`, fanning independent :class:`RunSpec` sweeps across
+  a process pool.
 
 Submodules that depend on the simulator or the protocol implementations
 are loaded lazily (PEP 562) so that low-level modules may import the
@@ -39,16 +46,19 @@ __all__ = [
     "DeploymentBackend",
     "EngineResult",
     "ExecutionBackend",
+    "IngestPipeline",
     "MessageBus",
     "ModelViolationError",
     "NetworkConditions",
     "PROTOCOLS",
+    "ParallelSweepBackend",
     "ProtocolRegistry",
     "ProtocolSpec",
     "RunSpec",
     "SimulationBackend",
     "UndeliverableMessageError",
     "run_spec",
+    "run_sweep",
 ]
 
 _LAZY = {
@@ -56,11 +66,14 @@ _LAZY = {
     "DeploymentBackend": "repro.engine.deploy_backend",
     "EngineResult": "repro.engine.backend",
     "ExecutionBackend": "repro.engine.backend",
+    "IngestPipeline": "repro.engine.ingest",
     "PROTOCOLS": "repro.engine.registry",
+    "ParallelSweepBackend": "repro.engine.sweep",
     "ProtocolRegistry": "repro.engine.registry",
     "ProtocolSpec": "repro.engine.registry",
     "SimulationBackend": "repro.engine.sim_backend",
     "run_spec": "repro.engine.backend",
+    "run_sweep": "repro.engine.sweep",
 }
 
 

@@ -42,6 +42,7 @@ from repro.engine.backend import (
     offer_transactions,
 )
 from repro.engine.conditions import NetworkConditions, conditions_from_network
+from repro.engine.ingest import IngestPipeline
 from repro.engine.registry import PROTOCOLS, ProtocolRegistry
 from repro.engine.spec import RunSpec
 from repro.net.gossip import GossipNetwork, regular_topology
@@ -49,7 +50,7 @@ from repro.net.transport import SimTransport
 from repro.runtime.clock import RoundClock
 from repro.runtime.node import DeployedNode
 from repro.sleepy.adversary import AdversaryContext
-from repro.sleepy.messages import CachedVerifier, Message, ProposeMessage
+from repro.sleepy.messages import Message, ProposeMessage
 from repro.sleepy.trace import RoundRecord, Trace
 
 
@@ -77,7 +78,7 @@ class DeploymentBackend(ExecutionBackend):
         """Run one deployment inside a running event loop."""
         conditions = self._conditions(spec)
         registry = KeyRegistry(spec.n, run_seed=spec.seed)
-        verifier = CachedVerifier(registry)
+        verifier = IngestPipeline(registry)
         clock = RoundClock(self.delta_s)
         factory = self.protocols.factory(
             spec.protocol,

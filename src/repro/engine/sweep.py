@@ -1,0 +1,108 @@
+"""Parallel experiment sweeps: fan independent runs across a process pool.
+
+The engine opened n ≫ 100 runs; this module opens n ≫ 100 *runs at
+once*.  A :class:`ParallelSweepBackend` wraps any single-run
+:class:`~repro.engine.backend.ExecutionBackend` and executes a sequence
+of independent :class:`~repro.engine.spec.RunSpec`\\ s across worker
+processes — each worker builds its own key registry, ingest pipeline,
+and bus, so runs share nothing and the sweep parallelises embarrassingly.
+
+Design points:
+
+* **Behind the backend seam.**  ``execute`` on a single spec delegates
+  to the wrapped backend unchanged, so a sweep backend can be dropped
+  anywhere a backend is expected; ``execute_many`` is the fan-out.
+* **Deterministic.**  Results come back in spec order and each run is
+  seeded by its spec, so a sweep equals the serial loop run-for-run
+  (pinned by ``tests/engine/test_sweep.py``).
+* **Lean results.**  Workers strip :attr:`EngineResult.extras` (live
+  simulation objects, transports) before crossing the process boundary;
+  a sweep's product is traces and measurements, not substrate handles.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.engine.backend import EngineResult, ExecutionBackend
+from repro.engine.spec import RunSpec
+
+
+def _execute_stripped(payload: tuple[ExecutionBackend, RunSpec]) -> EngineResult:
+    """Worker entry point: run one spec, drop substrate handles."""
+    backend, spec = payload
+    result = backend.execute(spec)
+    result.extras = {}
+    return result
+
+
+def default_worker_count() -> int:
+    """Workers a sweep uses when unspecified (cores − 1, at least 1)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class ParallelSweepBackend(ExecutionBackend):
+    """Executes :class:`RunSpec` sweeps across a process pool.
+
+    Args:
+        inner: the single-run backend each worker executes specs on
+            (default: a fresh round-simulator backend).
+        max_workers: pool size; ``0`` forces the serial in-process path
+            (useful under debuggers and in constrained CI sandboxes).
+        chunksize: specs handed to a worker per dispatch — raise it for
+            sweeps of many very short runs to amortise pickling.
+    """
+
+    name = "parallel-sweep"
+
+    def __init__(
+        self,
+        inner: ExecutionBackend | None = None,
+        max_workers: int | None = None,
+        chunksize: int = 1,
+    ) -> None:
+        if inner is None:
+            from repro.engine.sim_backend import SimulationBackend
+
+            inner = SimulationBackend()
+        if chunksize <= 0:
+            raise ValueError("chunksize must be positive")
+        self.inner = inner
+        self.max_workers = default_worker_count() if max_workers is None else max_workers
+        self.chunksize = chunksize
+
+    def execute(self, spec: RunSpec) -> EngineResult:
+        """Run one spec on the wrapped backend (no pool, extras intact)."""
+        return self.inner.execute(spec)
+
+    def execute_many(self, specs: Sequence[RunSpec]) -> list[EngineResult]:
+        """Run every spec; results in spec order, extras stripped.
+
+        Falls back to the serial path when the pool would not help
+        (zero workers, one spec) or cannot be created (sandboxes
+        without process-spawning privileges).
+        """
+        specs = list(specs)
+        if self.max_workers <= 0 or len(specs) <= 1:
+            return [_execute_stripped((self.inner, spec)) for spec in specs]
+        payloads = [(self.inner, spec) for spec in specs]
+        workers = min(self.max_workers, len(specs))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_execute_stripped, payloads, chunksize=self.chunksize))
+        except (OSError, PermissionError):
+            return [_execute_stripped(payload) for payload in payloads]
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    backend: ExecutionBackend | None = None,
+    max_workers: int | None = None,
+    chunksize: int = 1,
+) -> list[EngineResult]:
+    """One-call parallel sweep over ``specs`` (simulator backend default)."""
+    return ParallelSweepBackend(
+        inner=backend, max_workers=max_workers, chunksize=chunksize
+    ).execute_many(specs)

@@ -20,7 +20,7 @@ from fractions import Fraction
 from repro.chain.block import BlockId
 from repro.finality.gadget import DEFAULT_FINALITY_QUORUM, FinalityGadget, FinalizationEvent
 from repro.protocols.tob_base import SleepyTOBProcess
-from repro.sleepy.messages import AckMessage, Message, make_ack
+from repro.sleepy.messages import Message, VerifiedBatch, make_ack
 from repro.sleepy.process import Process
 from repro.sleepy.trace import DecisionEvent
 
@@ -73,15 +73,19 @@ class EbbAndFlowProcess(Process):
         return messages
 
     def receive(self, round_number: int, messages: Sequence[Message]) -> None:
-        inner_batch = []
-        for message in messages:
-            if isinstance(message, AckMessage):
-                if self._verifier.verify(message):
-                    self.gadget.record_ack(message.sender, message.round, message.tip)
-            else:
-                inner_batch.append(message)
-        if inner_batch:
-            self.inner.receive(round_number, inner_batch)
+        self.receive_batch(round_number, self._verifier.batch(messages))
+
+    def receive_batch(self, round_number: int, batch: VerifiedBatch) -> None:
+        """Route one pre-verified delivery: acks here, the rest inward.
+
+        The shared batch is handed to the inner protocol as-is — its
+        ``receive_batch`` only consumes votes and proposals, so the acks
+        recorded here are invisible to it, exactly as when they were
+        filtered out by hand.
+        """
+        for sender, ack_round, tip in batch.ack_records():
+            self.gadget.record_ack(sender, ack_round, tip)
+        self.inner.receive_batch(round_number, batch)
         self.gadget.advance(round_number)
 
     def pop_decisions(self) -> list[DecisionEvent]:

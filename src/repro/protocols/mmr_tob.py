@@ -23,8 +23,8 @@ class MMRProcess(SleepyTOBProcess):
     def vote_window(self, ga_round: int) -> tuple[int, int]:
         return (ga_round, ga_round)
 
-    def receive(self, round_number, messages):  # noqa: D102 - inherited docs
-        super().receive(round_number, messages)
+    def receive_batch(self, round_number, batch):  # noqa: D102 - inherited docs
+        super().receive_batch(round_number, batch)
         # Votes older than the previous round can never be tallied again.
         self._votes.prune(round_number - 1)
 

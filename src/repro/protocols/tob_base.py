@@ -73,7 +73,7 @@ from repro.sleepy.messages import (
     CachedVerifier,
     Message,
     ProposeMessage,
-    VoteMessage,
+    VerifiedBatch,
     make_propose,
     make_vote,
 )
@@ -197,13 +197,21 @@ class SleepyTOBProcess(Process):
     # Receive phase
     # ------------------------------------------------------------------
     def receive(self, round_number: int, messages: Sequence[Message]) -> None:
-        for message in messages:
-            if not self._verifier.verify(message):
-                continue
-            if isinstance(message, VoteMessage):
-                self._votes.record(message.sender, message.round, message.tip)
-            elif isinstance(message, ProposeMessage):
-                self._record_proposal(message, round_number)
+        self.receive_batch(round_number, self._verifier.batch(messages))
+
+    def receive_batch(self, round_number: int, batch: VerifiedBatch) -> None:
+        """Ingest one pre-verified delivery (the hot half of ``receive``).
+
+        The batch arrives classified and round-resolved from the shared
+        ingest pipeline — under synchrony every caught-up receiver gets
+        the *same* batch object, so verification, classification, and
+        vote-table resolution ran once, not once per process.  Only the
+        per-process state updates happen here.
+        """
+        if batch.votes:
+            self._votes.record_table(batch.vote_table())
+        for message in batch.proposes:
+            self._record_proposal(message, round_number)
         self._prune_proposals(round_number)
 
     def _prune_proposals(self, round_number: int) -> None:

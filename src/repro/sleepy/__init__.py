@@ -29,7 +29,14 @@ from repro.sleepy.adversary import (
     StaticVoteAdversary,
     WithholdingAdversary,
 )
-from repro.sleepy.messages import Message, ProposeMessage, VoteMessage, verify_message
+from repro.sleepy.messages import (
+    CachedVerifier,
+    Message,
+    ProposeMessage,
+    VerifiedBatch,
+    VoteMessage,
+    verify_message,
+)
 from repro.sleepy.network import (
     MultiWindowAsynchrony,
     NetworkModel,
@@ -63,6 +70,7 @@ __all__ = [
     "Adversary",
     "AdversaryContext",
     "AdversarialProposerAdversary",
+    "CachedVerifier",
     "CrashAdversary",
     "DecisionEvent",
     "DiurnalSchedule",
@@ -86,6 +94,7 @@ __all__ = [
     "SynchronousNetwork",
     "TableSchedule",
     "Trace",
+    "VerifiedBatch",
     "VoteMessage",
     "WindowedAsynchrony",
     "verify_message",

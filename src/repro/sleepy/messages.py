@@ -16,12 +16,20 @@ MMR family of protocols:
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.chain.block import Block, BlockId
 from repro.crypto.hashing import hash_fields
-from repro.crypto.signatures import KeyRegistry, SecretKey, Signature
+from repro.crypto.signatures import KeyRegistry, SecretKey, Signature, VerificationCache
 from repro.crypto.vrf import VRFOutput, evaluate_vrf, verify_vrf
+
+#: Marker for a (sender, round) slot voided by two different signed
+#: votes — shared by :meth:`VerifiedBatch.vote_table` and the vote
+#: stores that consume it, so resolved tables merge without
+#: re-translation.
+EQUIVOCATED_VOTE = object()
 
 
 @dataclass(frozen=True)
@@ -158,28 +166,258 @@ def verify_message(registry: KeyRegistry, message: Message) -> bool:
     return True
 
 
+def verification_digest(message: Message) -> str:
+    """Canonical digest a verifier keys its caches by.
+
+    Recomputed from the message's content — kind, claimed sender, signed
+    fields, signature — and **never** read from ``message.message_id``:
+    the memoised ``_message_id`` slot on a message instance is
+    attacker-supplied state (adversary code constructs the objects it
+    multicasts), so trusting it would let a transplanted identity
+    inherit another message's cached verdict.
+    """
+    return hash_fields(
+        "verified", type(message).__name__, message.sender, *message._signed_fields(), message.signature
+    )
+
+
+#: Default capacity of a :class:`MessageInterner` — matches the verdict
+#: cache's sizing rationale (one entry per logical message at the
+#: repository's experiment scales) and, like it, bounds what a
+#: Byzantine flood of distinct valid messages can pin in memory.
+DEFAULT_INTERNER_CAPACITY = 1 << 17
+
+
+class MessageInterner:
+    """One canonical instance per logical message, keyed by digest.
+
+    The bus already deduplicates *publishes*; the interner deduplicates
+    *objects* on the verification path, so the bus, vote stores, traces,
+    and every process's proposal table share a single instance per
+    logical message.  Membership of the canonical set doubles as an
+    O(1) "already verified" check (the table holds strong references,
+    so an ``id`` can never be recycled while it is a member — eviction
+    removes the id in the same step, keeping the check sound).
+
+    LRU-bounded for the same reason the verdict cache is: corrupted
+    keys can sign unlimited distinct valid messages, and on the
+    long-running deployment substrate nothing else retains messages
+    run-wide.  An evicted message merely falls back to the digest path
+    on next sight and is re-interned.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_INTERNER_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("interner capacity must be positive")
+        self._capacity = capacity
+        self._by_digest: OrderedDict[str, Message] = OrderedDict()
+        self._canonical_ids: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._by_digest)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of canonical instances held."""
+        return self._capacity
+
+    def is_canonical(self, message: Message) -> bool:
+        """Whether ``message`` *is* (identically) an interned instance."""
+        return id(message) in self._canonical_ids
+
+    def lookup(self, digest: str) -> Message | None:
+        """The canonical instance for ``digest``, if one was interned."""
+        message = self._by_digest.get(digest)
+        if message is not None:
+            self._by_digest.move_to_end(digest)
+        return message
+
+    def intern(self, message: Message, digest: str) -> Message:
+        """Make ``message`` canonical for ``digest`` (first instance wins)."""
+        existing = self._by_digest.get(digest)
+        if existing is not None:
+            self._by_digest.move_to_end(digest)
+            return existing
+        self._by_digest[digest] = message
+        self._canonical_ids.add(id(message))
+        while len(self._by_digest) > self._capacity:
+            _, evicted = self._by_digest.popitem(last=False)
+            self._canonical_ids.discard(id(evicted))
+        return message
+
+
+class VerifiedBatch:
+    """One delivery's verified messages, classified once for all consumers.
+
+    Built by a verifier's ``batch`` (and shared between receivers by the
+    engine's ingest pipeline): the messages that survived verification,
+    in delivery order, pre-split by kind, with the per-vote and per-ack
+    ``(sender, round, tip)`` records extracted so per-receiver loops
+    touch plain tuples instead of re-reading attributes n times.
+    """
+
+    __slots__ = ("messages", "votes", "proposes", "acks", "others", "rejected", "_vote_table")
+
+    def __init__(self, messages: Sequence[Message], rejected: int = 0) -> None:
+        votes: list[VoteMessage] = []
+        proposes: list[ProposeMessage] = []
+        acks: list[AckMessage] = []
+        others: list[Message] = []
+        for message in messages:
+            if type(message) is VoteMessage:
+                votes.append(message)
+            elif type(message) is ProposeMessage:
+                proposes.append(message)
+            elif type(message) is AckMessage:
+                acks.append(message)
+            elif isinstance(message, VoteMessage):
+                votes.append(message)
+            elif isinstance(message, ProposeMessage):
+                proposes.append(message)
+            elif isinstance(message, AckMessage):
+                acks.append(message)
+            else:
+                others.append(message)
+        #: Every verified message, in delivery order.
+        self.messages: tuple[Message, ...] = tuple(messages)
+        self.votes: tuple[VoteMessage, ...] = tuple(votes)
+        self.proposes: tuple[ProposeMessage, ...] = tuple(proposes)
+        self.acks: tuple[AckMessage, ...] = tuple(acks)
+        self.others: tuple[Message, ...] = tuple(others)
+        #: How many delivered messages failed verification.
+        self.rejected = rejected
+        self._vote_table: dict[int, dict[int, object]] | None = None
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def ack_records(self) -> Iterable[tuple[int, int, BlockId | None]]:
+        """``(sender, round, tip)`` per verified ack, in delivery order."""
+        return ((m.sender, m.round, m.tip) for m in self.acks)
+
+    def vote_table(self) -> dict[int, dict[int, object]]:
+        """Round-resolved vote table: ``round -> {sender: tip | EQUIVOCATED_VOTE}``.
+
+        Within-batch equivocations (two different votes by one sender
+        for one round) are already collapsed to :data:`EQUIVOCATED_VOTE`,
+        so a vote store can merge whole per-round tables — and, when it
+        has no prior entries for a round, adopt a copy wholesale.
+        Computed once and memoised; the pipeline shares one batch between
+        all receivers of the same delivery.
+        """
+        table = self._vote_table
+        if table is None:
+            table = {}
+            for message in self.votes:
+                bucket = table.get(message.round)
+                if bucket is None:
+                    bucket = table[message.round] = {}
+                existing = bucket.get(message.sender, _UNSEEN)
+                if existing is _UNSEEN:
+                    bucket[message.sender] = message.tip
+                elif existing is not EQUIVOCATED_VOTE and existing != message.tip:
+                    bucket[message.sender] = EQUIVOCATED_VOTE
+            self._vote_table = table
+        return table
+
+
+_UNSEEN = object()
+
+
 class CachedVerifier:
     """Memoised :func:`verify_message` shared by all processes of a run.
 
     Verification is deterministic, and in a multicast model every
-    process verifies the same messages; a shared memo keyed by
-    ``message_id`` (which covers the signature) removes the redundant
-    work without changing semantics.
+    process verifies the same messages; a shared
+    :class:`~repro.crypto.signatures.VerificationCache` keyed by
+    :func:`verification_digest` removes the redundant work without
+    changing semantics.  The digest is recomputed here rather than read
+    from the message (see :func:`verification_digest` for why); in
+    particular a message whose ``sender`` does not match the key that
+    produced its signature is rejected even when the signature is a
+    valid tag for some *other* registered process.
+
+    Subclassed by the engine's ingest pipeline, which adds interning,
+    an identity fast path, and shared per-delivery batches.
     """
 
-    def __init__(self, registry: KeyRegistry) -> None:
+    def __init__(self, registry: KeyRegistry, cache: VerificationCache | None = None) -> None:
         self._registry = registry
-        self._memo: dict[str, bool] = {}
+        self._cache = cache if cache is not None else VerificationCache()
 
     @property
     def registry(self) -> KeyRegistry:
         return self._registry
 
+    @property
+    def cache(self) -> VerificationCache:
+        """The underlying digest-keyed verdict cache."""
+        return self._cache
+
     def verify(self, message: Message) -> bool:
         """Memoised :func:`verify_message` for one message."""
-        key = message.message_id
-        result = self._memo.get(key)
-        if result is None:
-            result = verify_message(self._registry, message)
-            self._memo[key] = result
-        return result
+        digest = verification_digest(message)
+        verdict = self._cache.get(digest)
+        if verdict is None:
+            verdict = verify_message(self._registry, message)
+            self._cache.put(digest, verdict)
+        return verdict
+
+    def batch(self, messages: Sequence[Message]) -> VerifiedBatch:
+        """Verify ``messages`` and classify the survivors in one pass.
+
+        Signature tags for cache misses go through
+        :meth:`~repro.crypto.signatures.KeyRegistry.verify_batch`; VRF
+        checks (proposals) stay per-message.  Order is preserved.
+        """
+        digests = [verification_digest(m) for m in messages]
+        cache = self._cache
+        verdicts: list[bool | None] = [cache.get(d) for d in digests]
+        miss_indices = [i for i, v in enumerate(verdicts) if v is None]
+        if miss_indices:
+            resolved = self._resolve_misses(messages, digests, miss_indices)
+            for i in miss_indices:
+                verdicts[i] = resolved[digests[i]]
+        verified = [m for m, v in zip(messages, verdicts) if v]
+        return VerifiedBatch(verified, rejected=len(messages) - len(verified))
+
+    def _resolve_misses(
+        self, messages: Sequence[Message], digests: Sequence[str], indices: Sequence[int]
+    ) -> dict[str, bool]:
+        # The one place actual crypto happens on the batch path, shared
+        # by this class and the engine's ingest pipeline: deduplicate
+        # the missing digests, push the distinct signature claims
+        # through the registry's batch API, apply payload checks, and
+        # cache every verdict.
+        distinct: list[int] = []
+        seen: set[str] = set()
+        for i in indices:
+            digest = digests[i]
+            if digest not in seen:
+                seen.add(digest)
+                distinct.append(i)
+        items = [
+            (messages[i].sender, messages[i].signature, messages[i]._signed_fields())
+            for i in distinct
+        ]
+        self._note_crypto(len(items))
+        tag_ok = self._registry.verify_batch(items)
+        resolved: dict[str, bool] = {}
+        cache = self._cache
+        for i, ok in zip(distinct, tag_ok):
+            verdict = bool(ok) and self._check_payload(messages[i])
+            resolved[digests[i]] = verdict
+            cache.put(digests[i], verdict)
+        return resolved
+
+    def _note_crypto(self, count: int) -> None:
+        # Accounting hook; the ingest pipeline overrides it for stats.
+        return None
+
+    def _check_payload(self, message: Message) -> bool:
+        # The non-signature half of verify_message: proposal VRFs.
+        if isinstance(message, ProposeMessage):
+            if message.block is None or message.vrf is None:
+                return False
+            return verify_vrf(self._registry, message.sender, message.view, message.vrf)
+        return True

@@ -41,5 +41,8 @@ class Process(ABC):
 
 
 #: Builds the honest process for ``pid``.  Receives the process id, its
-#: secret key, and the run-shared cached verifier.
+#: secret key, and the run-shared cached verifier — on the engine
+#: substrates this is the full ingest pipeline
+#: (:class:`repro.engine.ingest.IngestPipeline`), whose shared
+#: ``batch`` method processes dispatch their deliveries through.
 ProcessFactory = Callable[[int, "SecretKey", "CachedVerifier"], Process]

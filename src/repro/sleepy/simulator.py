@@ -38,8 +38,9 @@ from repro.engine.backend import (
 )
 from repro.engine.bus import MessageBus
 from repro.engine.errors import ModelViolationError, UndeliverableMessageError
+from repro.engine.ingest import IngestPipeline
 from repro.sleepy.adversary import Adversary, AdversaryContext
-from repro.sleepy.messages import CachedVerifier, Message, ProposeMessage
+from repro.sleepy.messages import Message, ProposeMessage
 from repro.sleepy.network import NetworkModel
 from repro.sleepy.process import Process, ProcessFactory
 from repro.sleepy.schedule import SleepSchedule
@@ -66,7 +67,8 @@ class Simulation:
         self.schedule = schedule
         self.adversary = adversary
         self.network = network
-        self._verifier = CachedVerifier(registry)
+        #: The run-shared ingest pipeline every process verifies through.
+        self.pipeline = IngestPipeline(registry)
 
         # Omniscient tree for analysis: all blocks anyone ever creates.
         self._tree = BlockTree([genesis_block()])
@@ -75,7 +77,7 @@ class Simulation:
         self._corruption = CorruptionTracker(adversary, self._ctx)
 
         self.processes: dict[int, Process] = {
-            pid: process_factory(pid, registry.secret_key(pid), self._verifier)
+            pid: process_factory(pid, registry.secret_key(pid), self.pipeline)
             for pid in range(registry.n)
         }
 

@@ -22,12 +22,16 @@ ENTRY_POINTS = [
     "repro.engine.backend",
     "repro.engine.registry",
     "repro.engine.deploy_backend",
+    "repro.engine.ingest",
+    "repro.engine.sweep",
     "repro.harness",
     "repro.sleepy",
     "repro.sleepy.simulator",
     "repro.protocols.tob_base",
     "repro.protocols.graded_agreement",
     "repro.core.resilient_tob",
+    "repro.core.expiration",
+    "repro.finality",
     "repro.runtime",
     "repro.workloads",
     "repro.cli",

@@ -1,0 +1,76 @@
+"""Parallel sweep backend: pool fan-out equals the serial loop."""
+
+import pytest
+
+from repro.engine.spec import RunSpec
+from repro.engine.sweep import ParallelSweepBackend, default_worker_count, run_sweep
+from repro.sleepy.adversary import CrashAdversary
+from repro.sleepy.schedule import SpikeSchedule
+
+
+def sweep_specs():
+    return [
+        RunSpec(n=6, rounds=12, protocol="resilient", eta=2, seed=0),
+        RunSpec(n=6, rounds=12, protocol="mmr", seed=1),
+        RunSpec(
+            n=8,
+            rounds=14,
+            protocol="resilient",
+            eta=3,
+            adversary=CrashAdversary([6, 7]),
+            seed=2,
+        ),
+        RunSpec(
+            n=8,
+            rounds=14,
+            protocol="resilient",
+            eta=2,
+            schedule=SpikeSchedule(8, 0.5, start=4, duration=4),
+            seed=3,
+        ),
+    ]
+
+
+def digest(result):
+    return (
+        [(d.pid, d.round, d.view, d.tip) for d in result.trace.decisions],
+        result.trace.horizon,
+        len(result.trace.tree),
+        result.messages_sent,
+    )
+
+
+@pytest.mark.slow
+def test_parallel_sweep_equals_serial_run_for_run():
+    specs = sweep_specs()
+    serial = run_sweep(specs, max_workers=0)
+    parallel = run_sweep(specs, max_workers=2)
+    assert [digest(r) for r in parallel] == [digest(r) for r in serial]
+
+
+def test_serial_fallback_path_preserves_order_and_strips_extras():
+    specs = sweep_specs()[:2]
+    results = run_sweep(specs, max_workers=0)
+    assert [r.trace.meta["protocol"] for r in results] == ["resilient", "mmr"]
+    assert all(r.extras == {} for r in results)
+    assert all(r.backend == "simulator" for r in results)
+
+
+def test_single_spec_skips_the_pool():
+    (result,) = run_sweep(sweep_specs()[:1], max_workers=4)
+    assert result.trace.decisions
+    assert result.extras == {}
+
+
+def test_execute_delegates_to_inner_backend():
+    backend = ParallelSweepBackend(max_workers=0)
+    result = backend.execute(RunSpec(n=4, rounds=8, seed=0))
+    assert result.backend == "simulator"
+    # The single-run seam keeps substrate handles (sweeps strip them).
+    assert "simulation" in result.extras
+
+
+def test_worker_count_and_chunksize_validation():
+    assert default_worker_count() >= 1
+    with pytest.raises(ValueError, match="chunksize"):
+        ParallelSweepBackend(chunksize=0)

@@ -86,6 +86,40 @@ def test_cached_verifier_matches_uncached(registry, genesis):
         assert verifier.verify(bad) is False
 
 
+def test_transplanted_signature_rejected_despite_poisoned_cache_key(registry, genesis):
+    """Regression: a message whose ``sender`` does not match the key
+    that produced its (otherwise valid) signature must be rejected even
+    when its memoised ``message_id`` is transplanted from the victim —
+    the verifier keys its cache by a digest it recomputes itself."""
+    verifier = CachedVerifier(registry)
+    victim = make_vote(registry, registry.secret_key(9), 3, genesis.block_id)
+    assert verifier.verify(victim)  # the True verdict is now cached
+    transplant = VoteMessage(
+        sender=0, round=3, signature=victim.signature, tip=genesis.block_id
+    )
+    object.__setattr__(transplant, "_message_id", victim.message_id)
+    assert transplant.message_id == victim.message_id
+    assert not verifier.verify(transplant)
+    # And the batch path agrees.
+    batch = verifier.batch([victim, transplant])
+    assert batch.votes == (victim,)
+    assert batch.rejected == 1
+
+
+def test_batch_matches_single_message_verification(registry, genesis):
+    verifier = CachedVerifier(registry)
+    key = registry.secret_key(4)
+    block = Block(parent=genesis.block_id, proposer=4, view=1)
+    good_vote = make_vote(registry, key, 2, genesis.block_id)
+    good_propose = make_propose(registry, key, 2, view=1, block=block)
+    bad = VoteMessage(sender=5, round=2, signature=good_vote.signature, tip=genesis.block_id)
+    batch = verifier.batch([good_vote, bad, good_propose])
+    assert batch.messages == (good_vote, good_propose)
+    assert batch.votes == (good_vote,)
+    assert batch.proposes == (good_propose,)
+    assert batch.rejected == 1
+
+
 def test_genesis_propose_verifies(registry):
     # View-0 behaviour of Algorithm 1: propose [b0] with VRF(1).
     propose = make_propose(registry, registry.secret_key(0), 0, view=1, block=genesis_block())
