@@ -15,85 +15,44 @@ sized under β̃ (Equation 2) progress resumes at full cadence, while an
 adversary sized between β̃ and β — legal by the original protocol's
 accounting! — keeps the fresh votes pinned below the 2/3 quorum and the
 chain limps at a fraction of its cadence indefinitely.
+
+Both sizings are the named grid ``ablation-beta`` from
+:mod:`repro.analysis.batch` (a :class:`StaleTipChooser` adversary per
+cell), executed side by side through the engine's streamed parallel
+sweep with in-worker reduction to cadence rows.
 """
 
 from fractions import Fraction
 
-from repro.analysis import check_safety, decision_rounds, format_table
+from repro.analysis.batch import (
+    ablation_beta_grid,
+    ablation_beta_sizings,
+    ablation_beta_table,
+    reduce_ablation_beta,
+)
 from repro.core.bounds import beta_tilde
-from repro.harness import TOBRunConfig, run_tob
-from repro.sleepy.adversary import StaticVoteAdversary
-from repro.sleepy.schedule import TableSchedule
+from repro.engine.sweep import sweep_rows
 
 N, ROUNDS, ETA = 30, 40, 6
 SLEEP_AT = 14  # a third of the honest population sleeps after this round
+SLEEPERS = 9
 #: Machine-readable run configuration (recorded in BENCH_*.json).
-BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "eta": ETA, "sleep_at": SLEEP_AT}
-
-
-
-def run_sized(byz_count: int) -> dict:
-    byz = list(range(N - byz_count, N))
-    sleepers = set(range(N - byz_count - 9, N - byz_count))
-
-    # After SLEEP_AT, the sleepers are gone; their last votes linger for
-    # η more rounds.  Byzantine processes keep voting for the deepest
-    # block from before the sleep point (a stale branch).
-    awake_after = set(range(N)) - sleepers - set(byz)
-    schedule = TableSchedule(
-        N, {r: awake_after for r in range(SLEEP_AT, ROUNDS + 1)}, default=set(range(N)) - set(byz)
-    )
-
-    stale_tip: dict = {}
-
-    def choose_stale(r, ctx):
-        if r < SLEEP_AT:
-            return None  # silent while everyone is awake (vote empty log)
-        if "tip" not in stale_tip:
-            stale_tip["tip"] = ctx.deepest_tip()
-        return stale_tip["tip"]
-
-    trace = run_tob(
-        TOBRunConfig(
-            n=N,
-            rounds=ROUNDS,
-            protocol="resilient",
-            eta=ETA,
-            schedule=schedule,
-            adversary=StaticVoteAdversary(byz, choose_tip=choose_stale),
-        )
-    )
-    rounds = decision_rounds(trace)
-    post = [r for r in rounds if r > SLEEP_AT]
-    gaps = [b - a for a, b in zip(post, post[1:])]
-    return {
-        "byz": byz_count,
-        "post_decisions": len(post),
-        "longest_stall": max(gaps, default=ROUNDS - SLEEP_AT if not post else 0),
-        "safe": check_safety(trace).ok,
-    }
+BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "eta": ETA, "sleep_at": SLEEP_AT, "streamed": True}
 
 
 def test_ablation_beta(benchmark, record):
-    gamma = Fraction(9, 30)  # 9 of ~30 recently-awake honest go to sleep
-    tilde = beta_tilde(Fraction(1, 3), gamma)
-
     def experiment():
-        under_tilde = max(1, int(tilde * N) - 1)
-        over_tilde = int(Fraction(1, 3) * N) - 1  # legal under plain β!
-        return [run_sized(under_tilde), run_sized(over_tilde)], under_tilde, over_tilde
-
-    rows, under, over = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    record(
-        format_table(
-            ["adversary size", "sized by", "decisions after sleep", "longest stall", "safe"],
-            [
-                [rows[0]["byz"], f"β̃={float(tilde):.3f} (Eq. 2)", rows[0]["post_decisions"], rows[0]["longest_stall"], rows[0]["safe"]],
-                [rows[1]["byz"], "β=1/3 (unadjusted)", rows[1]["post_decisions"], rows[1]["longest_stall"], rows[1]["safe"]],
-            ],
-            title=f"A1: stale-vote amplification, n={N}, η={ETA}, 9 sleepers (γ={float(gamma):.2f})",
+        grid = ablation_beta_grid(
+            n=N, rounds=ROUNDS, eta=ETA, sleep_at=SLEEP_AT, sleepers=SLEEPERS
         )
-    )
+        return sweep_rows(grid, reduce_ablation_beta)
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record(ablation_beta_table(rows, n=N, eta=ETA, sleepers=SLEEPERS))
+
+    under, over, gamma = ablation_beta_sizings(N, SLEEPERS)
+    assert [row["byz"] for row in rows] == [under, over]
+    assert beta_tilde(Fraction(1, 3), gamma) > 0
 
     # Equation 2 sizing: full cadence after the transient.  β sizing:
     # liveness collapses to a fraction of it.  (Safety is never the

@@ -12,84 +12,35 @@ churn-bound model is the more restrictive one in practice (every
 Eq. 1+2 round also passes Eq. 3) and (b) how many Eq. 3-admissible
 rounds the explicit churn bound rejects — the price of the more
 structured assumption.
+
+The 12 sampled traces are the named grid ``sleepiness`` from
+:mod:`repro.analysis.batch` (seeded draws, one independent run per
+cell), executed through the engine's streamed parallel sweep; each
+worker ships back only the per-run admission sets, aggregated here.
 """
 
-import random
-from fractions import Fraction
-
-from repro.analysis import (
-    check_churn,
-    check_eta_sleepiness,
-    check_reduced_failure_ratio,
-    format_table,
+from repro.analysis.batch import (
+    aggregate_sleepiness,
+    reduce_sleepiness,
+    sleepiness_grid,
+    sleepiness_table,
 )
-from repro.harness import TOBRunConfig, run_tob
-from repro.sleepy.adversary import CrashAdversary
-from repro.sleepy.schedule import RandomChurnSchedule
+from repro.engine.sweep import sweep_rows
 
-THIRD = Fraction(1, 3)
 N, ROUNDS, ETA = 24, 30, 4
+SAMPLES = 12
 #: Machine-readable run configuration (recorded in BENCH_*.json).
-BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "eta": ETA}
-
-
-
-def classify(seed: int, churn_per_round: float, byz_count: int, gamma: Fraction) -> dict:
-    byz = list(range(N - byz_count, N)) if byz_count else []
-    trace = run_tob(
-        TOBRunConfig(
-            n=N,
-            rounds=ROUNDS,
-            protocol="resilient",
-            eta=ETA,
-            schedule=RandomChurnSchedule(
-                N, churn_per_round=churn_per_round, seed=seed, min_awake=N // 3
-            ),
-            adversary=CrashAdversary(byz) if byz else None,
-        )
-    )
-    failures_1 = {f.round for f in check_churn(trace, ETA, gamma).failures}
-    failures_2 = {f.round for f in check_reduced_failure_ratio(trace, THIRD, gamma).failures}
-    failures_3 = {f.round for f in check_eta_sleepiness(trace, ETA, THIRD).failures}
-    eq12_rounds = {r.round for r in trace.rounds} - failures_1 - failures_2
-    eq3_rounds = {r.round for r in trace.rounds} - failures_3
-    return {
-        "eq12": eq12_rounds,
-        "eq3": eq3_rounds,
-        "total": trace.horizon,
-    }
+BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "eta": ETA, "samples": SAMPLES, "streamed": True}
 
 
 def test_ablation_sleepiness(benchmark, record):
     def experiment():
-        rng = random.Random(99)
-        gamma = Fraction(1, 5)
-        agg = {"total": 0, "eq12": 0, "eq3": 0, "eq12_not_eq3": 0, "eq3_not_eq12": 0}
-        for _ in range(12):
-            seed = rng.randrange(1 << 16)
-            churn = rng.choice([0.02, 0.05, 0.10, 0.15])
-            byz_count = rng.choice([0, 2, 4])
-            result = classify(seed, churn, byz_count, gamma)
-            agg["total"] += result["total"]
-            agg["eq12"] += len(result["eq12"])
-            agg["eq3"] += len(result["eq3"])
-            agg["eq12_not_eq3"] += len(result["eq12"] - result["eq3"])
-            agg["eq3_not_eq12"] += len(result["eq3"] - result["eq12"])
-        return agg
+        grid = sleepiness_grid(samples=SAMPLES, n=N, rounds=ROUNDS, eta=ETA)
+        return sweep_rows(grid, reduce_sleepiness)
 
-    agg = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    record(
-        format_table(
-            ["admission check", "rounds admitted", "share"],
-            [
-                ["Eq. 1 + Eq. 2 (churn bound γ=1/5 + β̃)", agg["eq12"], agg["eq12"] / agg["total"]],
-                ["Eq. 3 (η-sleepiness)", agg["eq3"], agg["eq3"] / agg["total"]],
-                ["admitted by Eqs. 1+2 but not Eq. 3", agg["eq12_not_eq3"], agg["eq12_not_eq3"] / agg["total"]],
-                ["admitted by Eq. 3 but not Eqs. 1+2", agg["eq3_not_eq12"], agg["eq3_not_eq12"] / agg["total"]],
-            ],
-            title=f"A2: admission-check comparison over {agg['total']} sampled rounds (n={N}, η={ETA})",
-        )
-    )
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record(sleepiness_table(rows, n=N, eta=ETA))
+    agg = aggregate_sleepiness(rows)
 
     # §3.3's implication, observed: no round passes the explicit
     # churn-bound model while failing η-sleepiness.

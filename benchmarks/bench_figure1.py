@@ -9,15 +9,21 @@ Regenerates the paper's only data figure twice over:
   must make progress and stay safe; the stall threshold γ ≥ β is
   exhibited with a steep participation decline (see bench_churn_stall
   for the full stall study).
+
+The empirical probe is the named grid ``figure1`` from
+:mod:`repro.analysis.batch`, executed through the engine's streamed
+parallel sweep — one worker per churn point, each reducing its run to a
+(growth, safety) row in-process; the serial-loop equivalence is pinned
+by ``tests/engine/test_sweep_equivalence.py``.
 """
 
 import os
 from fractions import Fraction
 
-from repro.analysis import chain_growth_rate, check_safety, format_table
+from repro.analysis import format_table
+from repro.analysis.batch import figure1_grid, figure1_table, reduce_figure1
 from repro.core.bounds import beta_tilde, beta_tilde_one_third, figure1_curve
-from repro.harness import run_tob
-from repro.workloads import churn_scenario
+from repro.engine.sweep import sweep_rows
 
 THIRD = Fraction(1, 3)
 
@@ -43,28 +49,13 @@ def analytic_tables() -> str:
 
 
 def empirical_probe() -> tuple[str, list[dict]]:
-    """Runs below the curve: growth and safety must hold."""
+    """Runs below the curve: growth and safety must hold (streamed sweep)."""
     n, eta, rounds = (12, 4, 24) if TINY else (45, 4, 50)
-    outcomes = []
-    rows = []
-    for gamma_f in (0.0, 0.10) if TINY else (0.0, 0.10, 0.20, 0.28):
-        gamma = Fraction(gamma_f).limit_denominator(100)
-        allowed = beta_tilde(THIRD, gamma)
-        byz = max(0, int(allowed * n) - 1)  # strictly below β̃·|O_r|
-        config = churn_scenario(
-            "resilient", eta=eta, gamma=float(gamma), n=n, rounds=rounds, byzantine=byz, seed=3
-        )
-        trace = run_tob(config)
-        growth = chain_growth_rate(trace, start=8)
-        safe = check_safety(trace).ok
-        outcomes.append({"gamma": gamma_f, "byz": byz, "growth": growth, "safe": safe})
-        rows.append([gamma_f, float(allowed), byz, growth, safe])
-    table = format_table(
-        ["γ", "β̃ (analytic)", f"Byzantine (of {n})", "growth blocks/round", "safe"],
-        rows,
-        title="Figure 1 (empirical): runs below the curve make progress",
+    gammas = (0.0, 0.10) if TINY else (0.0, 0.10, 0.20, 0.28)
+    outcomes = sweep_rows(
+        figure1_grid(n=n, eta=eta, rounds=rounds, gammas=gammas), reduce_figure1
     )
-    return table, outcomes
+    return figure1_table(outcomes, n=n), outcomes
 
 
 def test_figure1(benchmark, record):

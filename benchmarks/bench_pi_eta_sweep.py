@@ -5,6 +5,14 @@ across the theorem boundary, always ending the window at the attacked
 decision round; the adversary starves delivery throughout the window so
 honest votes age out, then split-votes the final round.
 
+The (η, π) matrix is the named grid ``pi-eta`` from
+:mod:`repro.analysis.batch`, executed through the engine's streamed
+parallel sweep (:func:`repro.engine.sweep.stream_sweep`): cells fan
+across a process pool, each worker reduces its run to a verdict row
+in-process, and rows stream back in grid order —
+``tests/engine/test_sweep_equivalence.py`` pins that the streamed grid
+is cell-for-cell identical to the pre-sweep serial loop.
+
 Expectation: every (η, π) with π < η is safe *and* Definition 5
 resilient (the theorem).  One discretisation nuance is expected and
 documented: the paper's expiration window ``[r − η, r]`` is inclusive
@@ -13,45 +21,21 @@ documented: the paper's expiration window ``[r − η, r]`` is inclusive
 forks appear from π = η + 1 onward.
 """
 
-from repro.analysis import check_asynchrony_resilience, check_safety, format_table
-from repro.harness import run_tob
-from repro.workloads import split_vote_attack_scenario
+from repro.analysis.batch import pi_eta_grid, pi_eta_table, reduce_pi_eta
+from repro.engine.sweep import sweep_rows
 
+N = 20
 
 #: Machine-readable run configuration (recorded in BENCH_*.json).
-BENCH_CONFIG = {"n": 20, "target_round": 10}
-
-def run_cell(eta: int, pi: int) -> dict:
-    target = 10 + pi  # keep the attacked round's pre-window identical
-    config = split_vote_attack_scenario(
-        "resilient", eta=eta, pi=pi, n=20, target_round=target if target % 2 == 0 else target + 1
-    )
-    trace = run_tob(config)
-    return {
-        "eta": eta,
-        "pi": pi,
-        "guaranteed": pi < eta,
-        "safe": check_safety(trace).ok,
-        "resilient": check_asynchrony_resilience(trace, ra=config.meta["ra"], pi=pi).ok,
-    }
+BENCH_CONFIG = {"n": N, "target_round": 10, "streamed": True}
 
 
 def test_pi_eta_sweep(benchmark, record):
     def experiment():
-        cells = []
-        for eta in (2, 4, 6):
-            for pi in range(1, eta + 3):
-                cells.append(run_cell(eta, pi))
-        return cells
+        return sweep_rows(pi_eta_grid(n=N), reduce_pi_eta)
 
     cells = benchmark.pedantic(experiment, rounds=1, iterations=1)
-    record(
-        format_table(
-            ["η", "π", "π < η (guaranteed)", "safe", "Def.5 resilient"],
-            [[c["eta"], c["pi"], c["guaranteed"], c["safe"], c["resilient"]] for c in cells],
-            title="E3: Theorem 2 boundary sweep under the split-vote attack (n=20)",
-        )
-    )
+    record(pi_eta_table(cells, n=N))
 
     for cell in cells:
         if cell["guaranteed"]:

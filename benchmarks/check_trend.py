@@ -1,0 +1,157 @@
+"""Bench trend checker: fail CI on a >2x median regression.
+
+Every bench writes a machine-readable ``BENCH_<name>.json`` at the repo
+root (median/p95 seconds per test plus the run configuration, see
+``benchmarks/conftest.py``), and the previous run's files are committed.
+This script diffs a fresh set of those files against the committed
+baseline and exits non-zero when any test's median regressed by more
+than ``--factor`` (default 2x):
+
+    # snapshot the committed numbers, rerun the benches, compare
+    mkdir -p .bench-baseline && cp BENCH_*.json .bench-baseline/
+    python -m pytest benchmarks/ -q
+    python benchmarks/check_trend.py --baseline .bench-baseline --fresh .
+
+Comparison rules:
+
+* only ``(bench, test)`` entries present on *both* sides are compared —
+  new benches and newly-removed tests are reported, never failed;
+* entries whose recorded run ``config`` differs between the two sides
+  are skipped (a bench rerun at a different scale is a different
+  experiment, not a regression);
+* medians below ``--min-seconds`` (default 5 ms) are skipped: at that
+  scale shared-runner jitter swamps any real signal;
+* improvements are reported alongside regressions, so the uploaded CI
+  log doubles as the perf-trajectory summary.
+
+The committed baselines encode the speed class of the machine that
+wrote them.  If the CI runner fleet (or the committing machine) changes
+speed class, the gate will fire without a real regression — the fix is
+to refresh the committed ``BENCH_*.json`` from the CI job's own
+uploaded artifacts, re-baselining the trend on CI hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Sequence
+
+DEFAULT_FACTOR = 2.0
+DEFAULT_MIN_SECONDS = 0.005
+
+
+def load_medians(directory: Path) -> dict[tuple[str, str], tuple[float, dict]]:
+    """``(bench, test) -> (median seconds, config)`` over ``BENCH_*.json``."""
+    medians: dict[tuple[str, str], tuple[float, dict]] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            continue  # a torn or foreign file is not a regression
+        bench = payload.get("bench")
+        results = payload.get("results")
+        if not isinstance(bench, str) or not isinstance(results, dict):
+            continue
+        for test_name, entry in results.items():
+            median = entry.get("median_s") if isinstance(entry, dict) else None
+            if isinstance(median, (int, float)) and median >= 0:
+                config = entry.get("config")
+                medians[(bench, test_name)] = (
+                    float(median),
+                    config if isinstance(config, dict) else {},
+                )
+    return medians
+
+
+def compare(
+    baseline: dict[tuple[str, str], tuple[float, dict]],
+    fresh: dict[tuple[str, str], tuple[float, dict]],
+    factor: float = DEFAULT_FACTOR,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> dict[str, list]:
+    """Classify every entry; ``regressions`` non-empty means failure."""
+    report: dict[str, list] = {
+        "regressions": [],
+        "improvements": [],
+        "steady": [],
+        "skipped_small": [],
+        "config_changed": [],
+        "baseline_only": sorted(set(baseline) - set(fresh)),
+        "fresh_only": sorted(set(fresh) - set(baseline)),
+    }
+    for key in sorted(set(baseline) & set(fresh)):
+        (old, old_config), (new, new_config) = baseline[key], fresh[key]
+        if old_config != new_config:
+            report["config_changed"].append((key, old, new))
+            continue
+        if max(old, new) < min_seconds:
+            report["skipped_small"].append((key, old, new))
+            continue
+        ratio = new / old if old > 0 else float("inf")
+        row = (key, old, new, ratio)
+        if ratio > factor:
+            report["regressions"].append(row)
+        elif ratio < 1.0 / factor:
+            report["improvements"].append(row)
+        else:
+            report["steady"].append(row)
+    return report
+
+
+def render(report: dict[str, list], factor: float) -> str:
+    lines = []
+    for label, rows in (
+        ("REGRESSION", report["regressions"]),
+        ("improved", report["improvements"]),
+        ("steady", report["steady"]),
+    ):
+        for (bench, test), old, new, ratio in rows:
+            lines.append(
+                f"{label:>10}  {bench}::{test}  {old * 1000:.1f}ms -> {new * 1000:.1f}ms"
+                f"  ({ratio:.2f}x)"
+            )
+    for (bench, test), old, new in report["config_changed"]:
+        lines.append(f"{'config':>10}  {bench}::{test}  run configuration changed, skipped")
+    for (bench, test), old, new in report["skipped_small"]:
+        lines.append(f"{'tiny':>10}  {bench}::{test}  below the noise floor, skipped")
+    for bench, test in report["baseline_only"]:
+        lines.append(f"{'gone':>10}  {bench}::{test}  present in baseline only")
+    for bench, test in report["fresh_only"]:
+        lines.append(f"{'new':>10}  {bench}::{test}  present in fresh run only")
+    verdict = (
+        f"FAIL: {len(report['regressions'])} median regression(s) beyond {factor:g}x"
+        if report["regressions"]
+        else f"OK: no median regression beyond {factor:g}x"
+    )
+    lines.append(verdict)
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True, help="directory of committed BENCH_*.json")
+    parser.add_argument("--fresh", type=Path, required=True, help="directory of freshly-written BENCH_*.json")
+    parser.add_argument("--factor", type=float, default=DEFAULT_FACTOR, help="median ratio that fails (default 2.0)")
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="skip entries whose medians are both below this (noise floor)",
+    )
+    args = parser.parse_args(argv)
+    if args.factor <= 1.0:
+        parser.error("--factor must be > 1")
+    report = compare(
+        load_medians(args.baseline),
+        load_medians(args.fresh),
+        factor=args.factor,
+        min_seconds=args.min_seconds,
+    )
+    print(render(report, args.factor))
+    return 1 if report["regressions"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

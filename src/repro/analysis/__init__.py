@@ -8,6 +8,9 @@
   checkers for single GA instances.
 * :mod:`repro.analysis.metrics` — latency, chain growth, throughput.
 * :mod:`repro.analysis.tables` — aligned table rendering for benches.
+* :mod:`repro.analysis.batch` — the paper's experiment grids as
+  :class:`~repro.engine.sweep.SweepSpec`\\ s with per-cell reducers
+  (import explicitly: it pulls in the engine and workload layers).
 """
 
 from repro.analysis.assumptions import (

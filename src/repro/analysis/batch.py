@@ -1,0 +1,414 @@
+"""Batch analysis entry points: the paper's experiment grids as sweeps.
+
+Every large experiment grid in the repository — the Theorem-2 (η, π)
+boundary matrix, the Figure-1 empirical probes, and both ablations —
+is defined here *once* as a :class:`~repro.engine.sweep.SweepSpec`
+(a picklable cell factory expanding to seeded
+:class:`~repro.engine.spec.RunSpec`\\ s) plus a per-cell **reducer**
+that turns an executed run into a small measurement row inside the
+worker process.  Benches, the ``repro sweep`` CLI subcommand, and tests
+all drive the same grid definitions through
+:func:`~repro.engine.sweep.stream_sweep`, so "the Theorem 2 sweep"
+means exactly the same cells everywhere — and every grid is proven
+run-for-run identical to its pre-sweep serial loop by
+``tests/engine/test_sweep_equivalence.py``.
+
+Factories and reducers are module-level functions (process pools import
+them by reference), and each reducer reads everything it needs from the
+executed trace plus the cell's parameter dict.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.analysis.assumptions import (
+    check_churn,
+    check_eta_sleepiness,
+    check_reduced_failure_ratio,
+)
+from repro.analysis.checkers import check_asynchrony_resilience, check_safety
+from repro.analysis.metrics import chain_growth_rate, decision_rounds
+from repro.analysis.tables import format_table
+from repro.core.bounds import beta_tilde
+from repro.engine.backend import EngineResult
+from repro.engine.spec import RunSpec
+from repro.engine.sweep import SweepSpec
+from repro.sleepy.adversary import CrashAdversary, StaleTipChooser, StaticVoteAdversary
+from repro.sleepy.schedule import RandomChurnSchedule, TableSchedule
+from repro.workloads.scenarios import churn_scenario, split_vote_attack_scenario
+
+THIRD = Fraction(1, 3)
+
+__all__ = [
+    "GRIDS",
+    "GridJob",
+    "ablation_beta_grid",
+    "ablation_beta_table",
+    "figure1_grid",
+    "figure1_table",
+    "pi_eta_grid",
+    "pi_eta_table",
+    "reduce_ablation_beta",
+    "reduce_figure1",
+    "reduce_pi_eta",
+    "reduce_sleepiness",
+    "sleepiness_grid",
+    "sleepiness_table",
+]
+
+
+# ----------------------------------------------------------------------
+# E3 — Theorem 2 boundary sweep (bench_pi_eta_sweep)
+# ----------------------------------------------------------------------
+def _pi_axis(params: dict) -> range:
+    """π sweeps across the theorem boundary: ``1 .. η + extra_pi``."""
+    return range(1, params["eta"] + 1 + params["extra_pi"])
+
+
+def pi_eta_spec(*, eta: int, pi: int, n: int, base_target: int, seed: int, **_) -> RunSpec:
+    """One Theorem-2 cell: the split-vote attack at (η, π), target kept even."""
+    # Keep the attacked round's pre-window identical across π by moving
+    # the target with π (and keeping it a decision round).
+    target = base_target + pi
+    return split_vote_attack_scenario(
+        "resilient",
+        eta=eta,
+        pi=pi,
+        n=n,
+        target_round=target if target % 2 == 0 else target + 1,
+        seed=seed,
+    )
+
+
+def pi_eta_grid(
+    n: int = 20,
+    etas: Sequence[int] = (2, 4, 6),
+    extra_pi: int = 2,
+    base_target: int = 10,
+    seed: int = 0,
+) -> SweepSpec:
+    """The Theorem-2 (η, π) matrix under the split-vote attack."""
+    return SweepSpec(
+        axes={"eta": tuple(etas), "pi": _pi_axis},
+        base={"n": n, "extra_pi": extra_pi, "base_target": base_target, "seed": seed},
+        factory=pi_eta_spec,
+    )
+
+
+def reduce_pi_eta(result: EngineResult, params: dict) -> dict:
+    """Reduce one (η, π) run to its safety/resilience verdict row."""
+    trace = result.trace
+    pi = params["pi"]
+    return {
+        "eta": params["eta"],
+        "pi": pi,
+        "guaranteed": pi < params["eta"],
+        "safe": check_safety(trace).ok,
+        "resilient": check_asynchrony_resilience(trace, ra=trace.meta["ra"], pi=pi).ok,
+    }
+
+
+def pi_eta_table(rows: Sequence[dict], n: int = 20) -> str:
+    """The E3 bench table over reduced (η, π) rows."""
+    return format_table(
+        ["η", "π", "π < η (guaranteed)", "safe", "Def.5 resilient"],
+        [[c["eta"], c["pi"], c["guaranteed"], c["safe"], c["resilient"]] for c in rows],
+        title=f"E3: Theorem 2 boundary sweep under the split-vote attack (n={n})",
+    )
+
+
+# ----------------------------------------------------------------------
+# F1 — Figure 1 empirical probe (bench_figure1)
+# ----------------------------------------------------------------------
+def figure1_sizing(gamma_f: float, n: int, beta: Fraction) -> tuple[Fraction, Fraction, int]:
+    """``(gamma, allowed, byzantine)`` for one churn point.
+
+    The single source of the probe's adversary sizing — the cell factory
+    configures the run with it and the reducer reports it, so the bench
+    table can never drift from what actually executed.
+    """
+    gamma = Fraction(gamma_f).limit_denominator(100)
+    allowed = beta_tilde(beta, gamma)
+    return gamma, allowed, max(0, int(allowed * n) - 1)  # strictly below β̃·|O_r|
+
+
+def figure1_spec(
+    *, gamma_f: float, n: int, eta: int, rounds: int, beta: Fraction, seed: int, **_
+) -> RunSpec:
+    """One Figure-1 probe cell: churn at γ with the largest legal adversary."""
+    gamma, _, byz = figure1_sizing(gamma_f, n, beta)
+    return churn_scenario(
+        "resilient", eta=eta, gamma=float(gamma), n=n, rounds=rounds, byzantine=byz, seed=seed
+    )
+
+
+def figure1_grid(
+    n: int = 45,
+    eta: int = 4,
+    rounds: int = 50,
+    gammas: Sequence[float] = (0.0, 0.10, 0.20, 0.28),
+    beta: Fraction = THIRD,
+    seed: int = 3,
+) -> SweepSpec:
+    """Runs below the Figure-1 curve: growth and safety must hold."""
+    return SweepSpec(
+        axes={"gamma_f": tuple(gammas)},
+        base={"n": n, "eta": eta, "rounds": rounds, "beta": beta, "seed": seed},
+        factory=figure1_spec,
+    )
+
+
+def reduce_figure1(result: EngineResult, params: dict) -> dict:
+    """Reduce one churn run to its (β̃, Byzantine, growth, safety) row."""
+    trace = result.trace
+    _, allowed, byz = figure1_sizing(params["gamma_f"], params["n"], params["beta"])
+    return {
+        "gamma": params["gamma_f"],
+        "allowed": allowed,
+        "byz": byz,
+        "growth": chain_growth_rate(trace, start=8),
+        "safe": check_safety(trace).ok,
+    }
+
+
+def figure1_table(rows: Sequence[dict], n: int = 45) -> str:
+    """The F1 empirical bench table over reduced churn rows."""
+    return format_table(
+        ["γ", "β̃ (analytic)", f"Byzantine (of {n})", "growth blocks/round", "safe"],
+        [[r["gamma"], float(r["allowed"]), r["byz"], r["growth"], r["safe"]] for r in rows],
+        title="Figure 1 (empirical): runs below the curve make progress",
+    )
+
+
+# ----------------------------------------------------------------------
+# A1 — stale-vote amplification ablation (bench_ablation_beta)
+# ----------------------------------------------------------------------
+def ablation_beta_sizings(n: int = 30, sleepers: int = 9) -> tuple[int, int, Fraction]:
+    """``(under_tilde, over_tilde, gamma)``: the two adversary sizings.
+
+    ``under_tilde`` respects Equation 2 for the sleep spike's drop-off
+    rate γ; ``over_tilde`` is legal under the unadjusted β = 1/3 only.
+    """
+    gamma = Fraction(sleepers, n)
+    tilde = beta_tilde(THIRD, gamma)
+    return max(1, int(tilde * n) - 1), int(THIRD * n) - 1, gamma
+
+
+def ablation_beta_spec(
+    *, byz_count: int, n: int, rounds: int, eta: int, sleep_at: int, sleepers: int, **_
+) -> RunSpec:
+    """One A1 cell: the stale-vote amplification run for one adversary size."""
+    byz = list(range(n - byz_count, n))
+    sleeper_set = set(range(n - byz_count - sleepers, n - byz_count))
+
+    # After sleep_at, the sleepers are gone; their last votes linger for
+    # η more rounds.  Byzantine processes keep voting for the deepest
+    # block from before the sleep point (a stale branch).
+    awake_after = set(range(n)) - sleeper_set - set(byz)
+    schedule = TableSchedule(
+        n, {r: awake_after for r in range(sleep_at, rounds + 1)}, default=set(range(n)) - set(byz)
+    )
+    return RunSpec(
+        n=n,
+        rounds=rounds,
+        protocol="resilient",
+        eta=eta,
+        schedule=schedule,
+        adversary=StaticVoteAdversary(byz, choose_tip=StaleTipChooser(sleep_at)),
+    )
+
+
+def ablation_beta_grid(
+    byz_counts: Sequence[int] | None = None,
+    n: int = 30,
+    rounds: int = 40,
+    eta: int = 6,
+    sleep_at: int = 14,
+    sleepers: int = 9,
+) -> SweepSpec:
+    """Adversary sized by β̃ (Eq. 2) vs by the unadjusted β, side by side."""
+    if byz_counts is None:
+        under, over, _ = ablation_beta_sizings(n, sleepers)
+        byz_counts = (under, over)
+    return SweepSpec(
+        axes={"byz_count": tuple(byz_counts)},
+        base={"n": n, "rounds": rounds, "eta": eta, "sleep_at": sleep_at, "sleepers": sleepers},
+        factory=ablation_beta_spec,
+    )
+
+
+def reduce_ablation_beta(result: EngineResult, params: dict) -> dict:
+    """Reduce one A1 run to its post-sleep cadence/stall/safety row."""
+    trace = result.trace
+    rounds = decision_rounds(trace)
+    post = [r for r in rounds if r > params["sleep_at"]]
+    gaps = [b - a for a, b in zip(post, post[1:])]
+    return {
+        "byz": params["byz_count"],
+        "post_decisions": len(post),
+        "longest_stall": max(gaps, default=params["rounds"] - params["sleep_at"] if not post else 0),
+        "safe": check_safety(trace).ok,
+    }
+
+
+def ablation_beta_table(
+    rows: Sequence[dict], n: int = 30, eta: int = 6, sleepers: int = 9
+) -> str:
+    """The A1 bench table (rows must be the [under-β̃, over-β̃] pair, in order)."""
+    gamma = Fraction(sleepers, n)
+    tilde = beta_tilde(THIRD, gamma)
+    sized_by = [f"β̃={float(tilde):.3f} (Eq. 2)", "β=1/3 (unadjusted)"]
+    return format_table(
+        ["adversary size", "sized by", "decisions after sleep", "longest stall", "safe"],
+        [
+            [r["byz"], label, r["post_decisions"], r["longest_stall"], r["safe"]]
+            for r, label in zip(rows, sized_by)
+        ],
+        title=(
+            f"A1: stale-vote amplification, n={n}, η={eta}, "
+            f"{sleepers} sleepers (γ={float(gamma):.2f})"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# A2 — admission-check comparison (bench_ablation_sleepiness)
+# ----------------------------------------------------------------------
+def sleepiness_draws(samples: int = 12, master_seed: int = 99) -> tuple[tuple[int, float, int], ...]:
+    """The seeded ``(seed, churn, byz_count)`` sample points of A2."""
+    rng = random.Random(master_seed)
+    draws = []
+    for _ in range(samples):
+        seed = rng.randrange(1 << 16)
+        churn = rng.choice([0.02, 0.05, 0.10, 0.15])
+        byz_count = rng.choice([0, 2, 4])
+        draws.append((seed, churn, byz_count))
+    return tuple(draws)
+
+
+def sleepiness_spec(*, draw: tuple[int, float, int], n: int, rounds: int, eta: int, **_) -> RunSpec:
+    """One A2 cell: a seeded random-churn run with an optional crash adversary."""
+    seed, churn, byz_count = draw
+    byz = list(range(n - byz_count, n)) if byz_count else []
+    return RunSpec(
+        n=n,
+        rounds=rounds,
+        protocol="resilient",
+        eta=eta,
+        schedule=RandomChurnSchedule(n, churn_per_round=churn, seed=seed, min_awake=n // 3),
+        adversary=CrashAdversary(byz) if byz else None,
+    )
+
+
+def sleepiness_grid(
+    samples: int = 12,
+    master_seed: int = 99,
+    n: int = 24,
+    rounds: int = 30,
+    eta: int = 4,
+    gamma: Fraction = Fraction(1, 5),
+) -> SweepSpec:
+    """Random participation traces classified by Eqs. 1+2 vs Eq. 3."""
+    return SweepSpec(
+        axes={"draw": sleepiness_draws(samples, master_seed)},
+        base={"n": n, "rounds": rounds, "eta": eta, "gamma": gamma},
+        factory=sleepiness_spec,
+    )
+
+
+def reduce_sleepiness(result: EngineResult, params: dict) -> dict:
+    """Reduce one A2 run to its per-round Eq. 1+2 / Eq. 3 admission sets."""
+    trace = result.trace
+    eta, gamma = params["eta"], params["gamma"]
+    failures_1 = {f.round for f in check_churn(trace, eta, gamma).failures}
+    failures_2 = {f.round for f in check_reduced_failure_ratio(trace, THIRD, gamma).failures}
+    failures_3 = {f.round for f in check_eta_sleepiness(trace, eta, THIRD).failures}
+    all_rounds = {r.round for r in trace.rounds}
+    return {
+        "eq12": all_rounds - failures_1 - failures_2,
+        "eq3": all_rounds - failures_3,
+        "total": trace.horizon,
+    }
+
+
+def aggregate_sleepiness(rows: Sequence[dict]) -> dict:
+    """Sum the per-run admission sets into the A2 comparison counters."""
+    agg = {"total": 0, "eq12": 0, "eq3": 0, "eq12_not_eq3": 0, "eq3_not_eq12": 0}
+    for row in rows:
+        agg["total"] += row["total"]
+        agg["eq12"] += len(row["eq12"])
+        agg["eq3"] += len(row["eq3"])
+        agg["eq12_not_eq3"] += len(row["eq12"] - row["eq3"])
+        agg["eq3_not_eq12"] += len(row["eq3"] - row["eq12"])
+    return agg
+
+
+def sleepiness_table(rows: Sequence[dict], n: int = 24, eta: int = 4) -> str:
+    """The A2 bench table over reduced admission rows."""
+    agg = aggregate_sleepiness(rows)
+    return format_table(
+        ["admission check", "rounds admitted", "share"],
+        [
+            ["Eq. 1 + Eq. 2 (churn bound γ=1/5 + β̃)", agg["eq12"], agg["eq12"] / agg["total"]],
+            ["Eq. 3 (η-sleepiness)", agg["eq3"], agg["eq3"] / agg["total"]],
+            ["admitted by Eqs. 1+2 but not Eq. 3", agg["eq12_not_eq3"], agg["eq12_not_eq3"] / agg["total"]],
+            ["admitted by Eq. 3 but not Eqs. 1+2", agg["eq3_not_eq12"], agg["eq3_not_eq12"] / agg["total"]],
+        ],
+        title=f"A2: admission-check comparison over {agg['total']} sampled rounds (n={n}, η={eta})",
+    )
+
+
+# ----------------------------------------------------------------------
+# The named-grid registry (CLI + tooling)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridJob:
+    """One named experiment grid: build it, reduce it, format it."""
+
+    name: str
+    description: str
+    build: Callable[..., SweepSpec]
+    reducer: Callable[[EngineResult, dict], dict]
+    table: Callable[..., str]
+    #: Build/table kwargs the CLI may override (``--n`` maps to ``n``).
+    sizeable: bool = True
+
+
+GRIDS: dict[str, GridJob] = {
+    job.name: job
+    for job in (
+        GridJob(
+            name="pi-eta",
+            description="E3: Theorem 2 (η, π) boundary matrix under the split-vote attack",
+            build=pi_eta_grid,
+            reducer=reduce_pi_eta,
+            table=pi_eta_table,
+        ),
+        GridJob(
+            name="figure1",
+            description="F1: Figure 1 empirical probe (churn points below the β̃ curve)",
+            build=figure1_grid,
+            reducer=reduce_figure1,
+            table=figure1_table,
+        ),
+        GridJob(
+            name="ablation-beta",
+            description="A1: stale-vote amplification — β̃ sizing vs unadjusted β",
+            build=ablation_beta_grid,
+            reducer=reduce_ablation_beta,
+            table=ablation_beta_table,
+        ),
+        GridJob(
+            name="sleepiness",
+            description="A2: Eqs. 1+2 vs Eq. 3 admission over random participation",
+            build=sleepiness_grid,
+            reducer=reduce_sleepiness,
+            table=sleepiness_table,
+            sizeable=False,
+        ),
+    )
+}

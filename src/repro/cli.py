@@ -8,7 +8,10 @@ library is explorable without writing a script:
 * ``attack``   — the §1 split-vote attack, baseline vs η-expiration;
 * ``outage``   — a correlated participation outage replay;
 * ``tune-eta`` — the operator's η menu for a given per-round churn;
-* ``deploy``   — a real-time asyncio gossip deployment.
+* ``deploy``   — a real-time asyncio gossip deployment;
+* ``sweep``    — a named experiment grid, streamed across a process
+  pool (the paper's E3/F1/A1/A2 grids from
+  :mod:`repro.analysis.batch`).
 """
 
 from __future__ import annotations
@@ -30,6 +33,11 @@ from repro.core.bounds import beta_tilde, figure1_curve, max_resilient_pi
 from repro.engine.registry import PROTOCOLS
 from repro.harness import TOBRunConfig, run_tob
 from repro.workloads import ethereum_outage_scenario, split_vote_attack_scenario
+
+#: The named experiment grids of :data:`repro.analysis.batch.GRIDS`,
+#: spelled out so the parser does not import the batch layer just to
+#: build its ``choices`` (``tests/test_cli.py`` pins the two in sync).
+SWEEP_GRID_NAMES = ("ablation-beta", "figure1", "pi-eta", "sleepiness")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +95,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=14)
     p.add_argument("--delta-ms", type=float, default=20.0)
     p.add_argument("--eta", type=int, default=3)
+
+    p = sub.add_parser("sweep", help="run a named experiment grid as a streamed parallel sweep")
+    p.add_argument("grid", choices=SWEEP_GRID_NAMES, help="which experiment grid to run")
+    p.add_argument("--n", type=int, default=None, help="grid size override (where applicable)")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: cores − 1; 0 forces the serial in-process path)",
+    )
+    p.add_argument(
+        "--chunk", type=int, default=1, help="cells handed to a worker per dispatch"
+    )
+    p.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="cells in flight at once — bounds sweep memory (default: 4 × workers × chunk)",
+    )
+    p.add_argument("--save", metavar="PATH", default=None, help="save the reduced rows as JSON")
     return parser
 
 
@@ -226,6 +254,50 @@ def _cmd_tune_eta(args) -> int:
             title=f"η menu at {float(per_round):.1%} per-round churn (β = 1/3)",
         )
     )
+    return 0
+
+
+def _json_safe(value):
+    """Reduced rows may carry Fractions and round-sets; make them JSON."""
+    if isinstance(value, Fraction):
+        return [value.numerator, value.denominator]
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def _cmd_sweep(args) -> int:
+    import json
+
+    from repro.analysis.batch import GRIDS
+    from repro.engine.sweep import stream_sweep
+
+    job = GRIDS[args.grid]
+    overrides = {}
+    if args.n is not None:
+        if not job.sizeable:
+            raise SystemExit(f"grid {job.name!r} does not take --n")
+        overrides["n"] = args.n
+    grid = job.build(**overrides)
+    rows = [
+        outcome.row
+        for outcome in stream_sweep(
+            grid,
+            reducer=job.reducer,
+            max_workers=args.workers,
+            chunksize=args.chunk,
+            window=args.window,
+        )
+    ]
+    print(job.table(rows, **overrides))
+    if args.save:
+        with open(args.save, "w") as fh:
+            json.dump({"grid": job.name, "rows": [_json_safe(r) for r in rows]}, fh, indent=2)
+        print(f"\nrows saved to {args.save}")
     return 0
 
 

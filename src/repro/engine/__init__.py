@@ -24,7 +24,9 @@ One protocol/adversary/schedule stack over both execution substrates:
   sharing between receivers.
 * :mod:`repro.engine.sim_backend` / :mod:`repro.engine.deploy_backend`
   — the two substrates.
-* :mod:`repro.engine.sweep` — :class:`ParallelSweepBackend` /
+* :mod:`repro.engine.sweep` — the sweep harness: :class:`SweepSpec`
+  parameter grids, the chunked :func:`stream_sweep` generator (bounded
+  memory, per-cell reducers), and :class:`ParallelSweepBackend` /
   :func:`run_sweep`, fanning independent :class:`RunSpec` sweeps across
   a process pool.
 
@@ -56,9 +58,14 @@ __all__ = [
     "ProtocolSpec",
     "RunSpec",
     "SimulationBackend",
+    "SweepCell",
+    "SweepOutcome",
+    "SweepSpec",
     "UndeliverableMessageError",
     "run_spec",
     "run_sweep",
+    "stream_sweep",
+    "sweep_rows",
 ]
 
 _LAZY = {
@@ -72,8 +79,13 @@ _LAZY = {
     "ProtocolRegistry": "repro.engine.registry",
     "ProtocolSpec": "repro.engine.registry",
     "SimulationBackend": "repro.engine.sim_backend",
+    "SweepCell": "repro.engine.sweep",
+    "SweepOutcome": "repro.engine.sweep",
+    "SweepSpec": "repro.engine.sweep",
     "run_spec": "repro.engine.backend",
     "run_sweep": "repro.engine.sweep",
+    "stream_sweep": "repro.engine.sweep",
+    "sweep_rows": "repro.engine.sweep",
 }
 
 

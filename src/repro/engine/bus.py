@@ -21,9 +21,18 @@ were already delivered are never rescanned again.
 
 Semantics are identical to the flat pool (the equivalence suite pins
 seeded traces across the refactor): publish order is delivery order,
-duplicate ``message_id`` publishes are suppressed, and a process that
-slept through rounds catches up on its entire gap at its next awake
-receive phase.
+duplicate publishes are suppressed, and a process that slept through
+rounds catches up on its entire gap at its next awake receive phase.
+
+Deduplication is **digest-keyed**: like the verification layer
+(:func:`~repro.sleepy.messages.verification_digest`), the bus computes
+its dedup key from a message's *content* and never reads the message's
+own memoised ``message_id`` — that slot is attacker-supplied state on
+adversary-constructed objects, so trusting it would let a transplanted
+id either suppress a distinct message at publish or, worse, void an
+honest message's delivery through :meth:`MessageBus.deliver_chosen`.
+Foreign message types without signed fields (test doubles, custom
+transports) fall back to their ``message_id`` attribute as the key.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.engine.errors import UndeliverableMessageError
-from repro.sleepy.messages import Message
+from repro.sleepy.messages import Message, verification_digest
 
 
 class MessageBus:
@@ -42,7 +51,12 @@ class MessageBus:
             raise ValueError("need at least one recipient")
         self.n = n
         self._log: list[Message] = []
-        self._ids: set[str] = set()
+        #: Content-derived dedup keys of every published message.
+        self._keys: set[str] = set()
+        #: id(message) -> dedup key for log-resident messages (the bus
+        #: holds a strong reference to everything it memoises, so the
+        #: ``id`` cannot be recycled while the entry exists).
+        self._key_memo: dict[int, str] = {}
         #: round -> (start, end) span of ``_log``; the current round's
         #: end is resolved lazily (it is still growing).
         self._buckets: dict[int, tuple[int, int]] = {}
@@ -78,12 +92,19 @@ class MessageBus:
         self._open_start = len(self._log)
 
     def publish(self, message: Message) -> bool:
-        """Add ``message`` to the log; ``False`` if its id was already seen."""
-        if message.message_id in self._ids:
+        """Add ``message`` to the log; ``False`` if its content was already seen.
+
+        The dedup key is recomputed from the message's content (see the
+        module docstring) — a poisoned ``message_id`` can neither
+        suppress a distinct message nor republish an already-seen one.
+        """
+        key = self._dedup_key(message)
+        if key in self._keys:
             self.stats["duplicates"] += 1
             return False
-        self._ids.add(message.message_id)
+        self._keys.add(key)
         self._log.append(message)
+        self._key_memo[id(message)] = key
         self.stats["published"] += 1
         if self._tail_memo:
             self._tail_memo.clear()
@@ -139,18 +160,27 @@ class MessageBus:
 
         Raises :class:`UndeliverableMessageError` if the choice strays
         outside the deliverable view (injection through the delivery
-        hook is impossible by construction).
+        hook is impossible by construction).  Matching is by the same
+        content-derived key as publish dedup, so a Byzantine message
+        carrying a transplanted ``message_id`` cannot impersonate an
+        honest pending message and void its delivery.
         """
         if pending is None:
             pending = self.deliverable(pid)
-        allowed = {m.message_id for m in pending}
+        if not chosen:
+            self._backlog[pid] = list(pending)
+            self._cursor[pid] = len(self._log)
+            return
+        allowed = {self._dedup_key(m) for m in pending}
+        chosen_keys: set[str] = set()
         for message in chosen:
-            if message.message_id not in allowed:
+            key = self._dedup_key(message)
+            if key not in allowed:
                 raise UndeliverableMessageError(
                     f"message {message.message_id} is not deliverable to process {pid}"
                 )
-        chosen_ids = {m.message_id for m in chosen}
-        self._backlog[pid] = [m for m in pending if m.message_id not in chosen_ids]
+            chosen_keys.add(key)
+        self._backlog[pid] = [m for m in pending if self._dedup_key(m) not in chosen_keys]
         self._cursor[pid] = len(self._log)
 
     # ------------------------------------------------------------------
@@ -159,8 +189,10 @@ class MessageBus:
     def __len__(self) -> int:
         return len(self._log)
 
-    def __contains__(self, message_id: str) -> bool:
-        return message_id in self._ids
+    def __contains__(self, key: str) -> bool:
+        """Whether a dedup key (content digest; ``message_id`` for
+        foreign message types) has been published."""
+        return key in self._keys
 
     @property
     def total_published(self) -> int:
@@ -177,6 +209,21 @@ class MessageBus:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _dedup_key(self, message: Message) -> str:
+        """Content-derived dedup key (memoised for log-resident messages).
+
+        Real protocol messages are keyed by their verification digest —
+        recomputed from kind, claimed sender, signed fields, and
+        signature, never read from the instance.  Foreign message types
+        (test doubles) are keyed by their ``message_id`` attribute.
+        """
+        memo = self._key_memo.get(id(message))
+        if memo is not None:
+            return memo
+        if isinstance(message, Message):
+            return verification_digest(message)
+        return message.message_id
+
     def _tail(self, cursor: int) -> tuple[Message, ...]:
         if cursor >= len(self._log):
             return ()

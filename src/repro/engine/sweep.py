@@ -1,46 +1,258 @@
-"""Parallel experiment sweeps: fan independent runs across a process pool.
+"""Parallel experiment sweeps: grids, streaming fan-out, per-cell reducers.
 
 The engine opened n ≫ 100 runs; this module opens n ≫ 100 *runs at
-once*.  A :class:`ParallelSweepBackend` wraps any single-run
-:class:`~repro.engine.backend.ExecutionBackend` and executes a sequence
-of independent :class:`~repro.engine.spec.RunSpec`\\ s across worker
-processes — each worker builds its own key registry, ingest pipeline,
-and bus, so runs share nothing and the sweep parallelises embarrassingly.
+once*, and — since PR 3 — entire experiment *grids*:
+
+* :class:`SweepSpec` expands a parameter grid (cartesian axes, with
+  later axes allowed to depend on earlier ones) into seeded
+  :class:`~repro.engine.spec.RunSpec`\\ s via a picklable factory, in a
+  deterministic "nested for loops" order.
+* :func:`stream_sweep` executes a grid (or a plain spec sequence)
+  across a process pool and **yields** :class:`SweepOutcome`\\ s in spec
+  order with bounded memory: at most one *window* of results is ever
+  buffered, so grids that do not fit in memory stream through.
+* A per-cell **reducer** hook runs inside the worker process, so a
+  sweep ships back measurement rows instead of whole traces — the
+  process boundary then carries a dict per cell, not a block tree.
+* :class:`ParallelSweepBackend` remains the backend-shaped seam
+  (``execute_many`` is now a thin collect over :func:`stream_sweep`).
 
 Design points:
 
-* **Behind the backend seam.**  ``execute`` on a single spec delegates
-  to the wrapped backend unchanged, so a sweep backend can be dropped
-  anywhere a backend is expected; ``execute_many`` is the fan-out.
-* **Deterministic.**  Results come back in spec order and each run is
-  seeded by its spec, so a sweep equals the serial loop run-for-run
-  (pinned by ``tests/engine/test_sweep.py``).
-* **Lean results.**  Workers strip :attr:`EngineResult.extras` (live
-  simulation objects, transports) before crossing the process boundary;
-  a sweep's product is traces and measurements, not substrate handles.
+* **Deterministic.**  Cells expand in axis order, results come back in
+  cell order, and each run is seeded by its spec, so a sweep equals the
+  serial loop run-for-run (pinned by ``tests/engine/test_sweep.py`` and
+  the real-grid equivalence suite in
+  ``tests/engine/test_sweep_equivalence.py``).
+* **Shared nothing.**  Each worker builds its own key registry, ingest
+  pipeline, and bus; the sweep parallelises embarrassingly.
+* **Picklable by construction.**  Factories and reducers must be
+  importable callables (module-level functions, classes, or
+  ``functools.partial`` of them) — the paper's grids live in
+  :mod:`repro.analysis.batch` for exactly this reason.
+* **Graceful degradation.**  Sandboxes that cannot spawn processes
+  (and ``max_workers=0`` explicitly) run the same cells serially,
+  in-process, yielding identical outcomes lazily.
 """
 
 from __future__ import annotations
 
 import os
-from collections.abc import Sequence
+from collections.abc import Callable, Iterator, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 from repro.engine.backend import EngineResult, ExecutionBackend
 from repro.engine.spec import RunSpec
 
+#: A per-cell reducer: ``(result, params) -> row``.  Runs in the worker
+#: process; whatever it returns crosses the process boundary *instead
+#: of* the full :class:`EngineResult`.
+Reducer = Callable[[EngineResult, dict], object]
 
-def _execute_stripped(payload: tuple[ExecutionBackend, RunSpec]) -> EngineResult:
-    """Worker entry point: run one spec, drop substrate handles."""
-    backend, spec = payload
-    result = backend.execute(spec)
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: its position, its parameters, and its run."""
+
+    index: int
+    params: dict
+    spec: RunSpec
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """What :func:`stream_sweep` yields for one cell, in cell order.
+
+    Exactly one of ``result`` / ``row`` is populated: with a reducer the
+    worker ships back only ``row``; without one it ships the full
+    :class:`EngineResult` (extras stripped — a sweep's product is traces
+    and measurements, not substrate handles).
+    """
+
+    index: int
+    params: dict
+    result: EngineResult | None = None
+    row: object | None = None
+
+
+def _default_factory(**params) -> RunSpec:
+    return RunSpec(**params)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative parameter grid over :class:`RunSpec`\\ s.
+
+    Attributes:
+        axes: ordered mapping ``name -> values``; cells enumerate the
+            cartesian product with the *last* axis varying fastest
+            (exactly the order of the equivalent nested ``for`` loops).
+            A value may also be a callable ``partial_params -> values``,
+            so an axis can depend on the axes before it (e.g. the
+            Theorem-2 grid sweeps ``pi`` up to ``eta + 2`` per ``eta``).
+        base: constant parameters merged under every cell's axis values.
+        factory: picklable ``(**params) -> RunSpec``; defaults to
+            ``RunSpec(**params)``, so a grid over plain spec fields
+            needs no factory at all.
+        keep: optional predicate over the merged params; cells it
+            rejects are skipped (indices stay dense over kept cells).
+    """
+
+    axes: Mapping[str, object]
+    base: Mapping[str, object] = field(default_factory=dict)
+    factory: Callable[..., RunSpec] | None = None
+    keep: Callable[[dict], bool] | None = None
+
+    def cells(self) -> list[SweepCell]:
+        """Expand the grid into cells, in deterministic axis order."""
+        factory = self.factory or _default_factory
+        axis_items = list(self.axes.items())
+        cells: list[SweepCell] = []
+
+        def expand(depth: int, params: dict) -> None:
+            if depth == len(axis_items):
+                if self.keep is not None and not self.keep(params):
+                    return
+                cells.append(
+                    SweepCell(index=len(cells), params=dict(params), spec=factory(**params))
+                )
+                return
+            name, values = axis_items[depth]
+            for value in values(params) if callable(values) else values:
+                params[name] = value
+                expand(depth + 1, params)
+                del params[name]
+
+        expand(0, dict(self.base))
+        return cells
+
+    def specs(self) -> list[RunSpec]:
+        """Just the expanded :class:`RunSpec`\\ s, in cell order."""
+        return [cell.spec for cell in self.cells()]
+
+
+def _as_cells(grid: SweepSpec | Sequence[SweepCell] | Sequence[RunSpec]) -> list[SweepCell]:
+    if isinstance(grid, SweepSpec):
+        return grid.cells()
+    cells: list[SweepCell] = []
+    for i, item in enumerate(grid):
+        if isinstance(item, SweepCell):
+            cells.append(item)
+        else:
+            cells.append(SweepCell(index=i, params={}, spec=item))
+    return cells
+
+
+def _execute_cell(payload: tuple[ExecutionBackend, SweepCell, Reducer | None]) -> SweepOutcome:
+    """Worker entry point: run one cell, reduce or strip, ship back."""
+    backend, cell, reducer = payload
+    result = backend.execute(cell.spec)
+    if reducer is not None:
+        return SweepOutcome(index=cell.index, params=cell.params, row=reducer(result, cell.params))
     result.extras = {}
-    return result
+    return SweepOutcome(index=cell.index, params=cell.params, result=result)
 
 
 def default_worker_count() -> int:
     """Workers a sweep uses when unspecified (cores − 1, at least 1)."""
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+def stream_sweep(
+    grid: SweepSpec | Sequence[SweepCell] | Sequence[RunSpec],
+    reducer: Reducer | None = None,
+    backend: ExecutionBackend | None = None,
+    max_workers: int | None = None,
+    chunksize: int = 1,
+    window: int | None = None,
+) -> Iterator[SweepOutcome]:
+    """Execute ``grid`` and yield :class:`SweepOutcome`\\ s in cell order.
+
+    Memory is bounded by the *window*: the pool executes ``window``
+    cells at a time (default ``4 × workers × chunksize``), so at most
+    one window of results — rows, with a ``reducer`` — is ever buffered
+    between the pool and the consumer.  The serial path (``max_workers=0``,
+    a single cell, or a sandbox that cannot spawn processes) executes
+    lazily, one cell per ``next()``.
+
+    ``reducer`` must be picklable (an importable function/class or a
+    ``functools.partial`` of one); it runs inside the worker, and the
+    sweep ships back its return value instead of the full result.
+    """
+    if chunksize <= 0:
+        raise ValueError("chunksize must be positive")
+    if window is not None and window <= 0:
+        raise ValueError("window must be positive")
+    if backend is None:
+        from repro.engine.sim_backend import SimulationBackend
+
+        backend = SimulationBackend()
+    cells = _as_cells(grid)
+    workers = default_worker_count() if max_workers is None else max_workers
+    payloads = [(backend, cell, reducer) for cell in cells]
+    if workers <= 0 or len(cells) <= 1:
+        for payload in payloads:
+            yield _execute_cell(payload)
+        return
+
+    window = window if window is not None else max(1, 4 * workers * chunksize)
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(cells)))
+    except (OSError, PermissionError):
+        pool = None
+    if pool is None:
+        for payload in payloads:
+            yield _execute_cell(payload)
+        return
+    pool_ever_worked = False
+    with pool:
+        for start in range(0, len(payloads), window):
+            chunk = payloads[start : start + window]
+            produced = 0
+            try:
+                for outcome in pool.map(_execute_cell, chunk, chunksize=chunksize):
+                    yield outcome
+                    produced += 1
+                    pool_ever_worked = True
+            except (BrokenProcessPool, OSError, PermissionError):
+                if pool_ever_worked:
+                    # The pool ran fine and then a worker died mid-grid
+                    # (OOM kill, segfault): re-running that cell in the
+                    # parent would risk the parent too — surface it.
+                    raise
+                # The pool never produced anything: this sandbox cannot
+                # actually spawn workers.  Runs are deterministic and
+                # side-effect free, so the serial path yields the
+                # identical stream.
+                for payload in chunk[produced:]:
+                    yield _execute_cell(payload)
+                for payload in payloads[start + len(chunk) :]:
+                    yield _execute_cell(payload)
+                return
+
+
+def sweep_rows(
+    grid: SweepSpec | Sequence[SweepCell] | Sequence[RunSpec],
+    reducer: Reducer,
+    backend: ExecutionBackend | None = None,
+    max_workers: int | None = None,
+    chunksize: int = 1,
+    window: int | None = None,
+) -> list[object]:
+    """Collect every cell's reduced row, in cell order (one-call sweep)."""
+    return [
+        outcome.row
+        for outcome in stream_sweep(
+            grid,
+            reducer=reducer,
+            backend=backend,
+            max_workers=max_workers,
+            chunksize=chunksize,
+            window=window,
+        )
+    ]
 
 
 class ParallelSweepBackend(ExecutionBackend):
@@ -84,16 +296,15 @@ class ParallelSweepBackend(ExecutionBackend):
         (zero workers, one spec) or cannot be created (sandboxes
         without process-spawning privileges).
         """
-        specs = list(specs)
-        if self.max_workers <= 0 or len(specs) <= 1:
-            return [_execute_stripped((self.inner, spec)) for spec in specs]
-        payloads = [(self.inner, spec) for spec in specs]
-        workers = min(self.max_workers, len(specs))
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_execute_stripped, payloads, chunksize=self.chunksize))
-        except (OSError, PermissionError):
-            return [_execute_stripped(payload) for payload in payloads]
+        return [
+            outcome.result
+            for outcome in stream_sweep(
+                list(specs),
+                backend=self.inner,
+                max_workers=self.max_workers,
+                chunksize=self.chunksize,
+            )
+        ]
 
 
 def run_sweep(

@@ -95,6 +95,46 @@ class AdversaryContext:
         return self.tree.longest(tips)
 
 
+def deepest_tip_choice(round_number: int, ctx: AdversaryContext) -> BlockId | None:
+    """Default tip choice: the deepest block anyone has created so far.
+
+    A module-level function (not a lambda) so adversaries that default
+    to it stay picklable — parallel sweeps ship :class:`RunSpec`\\ s,
+    adversaries included, across process boundaries.
+    """
+    return ctx.deepest_tip()
+
+
+def parity_group(pid: int) -> int:
+    """Default receiver grouping for :class:`SplitVoteAttack` (pid parity)."""
+    return pid % 2
+
+
+class StaleTipChooser:
+    """A picklable tip chooser that pins the pre-``from_round`` deepest tip.
+
+    Votes for the empty log (``None``) while ``round < from_round``;
+    at the first call from ``from_round`` on it captures the deepest
+    tip anyone has created and votes for that same stale branch forever.
+    The building block of the stale-vote amplification ablation
+    (:mod:`repro.analysis.batch`): honest sleepers leave, their votes
+    linger, and the adversary keeps re-animating the branch they left.
+    """
+
+    def __init__(self, from_round: int) -> None:
+        self.from_round = from_round
+        self._tip: BlockId | None = None
+        self._captured = False
+
+    def __call__(self, round_number: int, ctx: AdversaryContext) -> BlockId | None:
+        if round_number < self.from_round:
+            return None
+        if not self._captured:
+            self._tip = ctx.deepest_tip()
+            self._captured = True
+        return self._tip
+
+
 class Adversary(ABC):
     """Base class for adversary strategies."""
 
@@ -163,7 +203,7 @@ class StaticVoteAdversary(Adversary):
         choose_tip: Callable[[int, AdversaryContext], BlockId | None] | None = None,
     ) -> None:
         self._pids = frozenset(pids)
-        self._choose_tip = choose_tip or (lambda r, ctx: ctx.deepest_tip())
+        self._choose_tip = choose_tip or deepest_tip_choice
 
     def byzantine(self, round_number: int) -> frozenset[int]:
         return self._pids
@@ -385,7 +425,7 @@ class SplitVoteAttack(Adversary):
             raise ValueError("target_round must be a decision round (round 2 of a view)")
         self._pids = frozenset(pids)
         self.target_round = target_round
-        self._group_of = group_of or (lambda pid: pid % 2)
+        self._group_of = group_of or parity_group
         self._fork: tuple[Block, Block] | None = None
         self._parent: BlockId | None = GENESIS_TIP
         self._parent_captured = False

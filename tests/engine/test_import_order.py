@@ -25,6 +25,7 @@ ENTRY_POINTS = [
     "repro.engine.ingest",
     "repro.engine.sweep",
     "repro.harness",
+    "repro.analysis.batch",
     "repro.sleepy",
     "repro.sleepy.simulator",
     "repro.protocols.tob_base",

@@ -1,9 +1,23 @@
-"""Parallel sweep backend: pool fan-out equals the serial loop."""
+"""The sweep harness: grids, streaming, reducers, pool fan-out.
+
+Pool fan-out must equal the serial loop; :class:`SweepSpec` must expand
+in nested-for-loop order; :func:`stream_sweep` must stay lazy (bounded
+memory) and yield identical outcomes on every path.
+"""
 
 import pytest
 
+from repro.engine.backend import ExecutionBackend
+from repro.engine.sim_backend import SimulationBackend
 from repro.engine.spec import RunSpec
-from repro.engine.sweep import ParallelSweepBackend, default_worker_count, run_sweep
+from repro.engine.sweep import (
+    ParallelSweepBackend,
+    SweepSpec,
+    default_worker_count,
+    run_sweep,
+    stream_sweep,
+    sweep_rows,
+)
 from repro.sleepy.adversary import CrashAdversary
 from repro.sleepy.schedule import SpikeSchedule
 
@@ -74,3 +88,120 @@ def test_worker_count_and_chunksize_validation():
     assert default_worker_count() >= 1
     with pytest.raises(ValueError, match="chunksize"):
         ParallelSweepBackend(chunksize=0)
+    with pytest.raises(ValueError, match="chunksize"):
+        list(stream_sweep(sweep_specs()[:1], chunksize=0))
+    with pytest.raises(ValueError, match="window"):
+        list(stream_sweep(sweep_specs()[:1], window=0))
+
+
+# ----------------------------------------------------------------------
+# SweepSpec grids
+# ----------------------------------------------------------------------
+def _grid_spec(*, n, rounds, protocol, seed, **_):
+    return RunSpec(n=n, rounds=rounds, protocol=protocol, seed=seed)
+
+
+def _rounds_axis(params):
+    # A dependent axis: later axes may read the ones before them.
+    return range(10, 10 + 2 * params["seed"] + 1, 2)
+
+
+def test_grid_expands_in_nested_loop_order():
+    grid = SweepSpec(
+        axes={"protocol": ("mmr", "resilient"), "seed": (0, 1)},
+        base={"n": 4, "rounds": 8},
+    )
+    cells = grid.cells()
+    assert [(c.params["protocol"], c.params["seed"]) for c in cells] == [
+        ("mmr", 0), ("mmr", 1), ("resilient", 0), ("resilient", 1)
+    ]
+    assert [c.index for c in cells] == [0, 1, 2, 3]
+    # Default factory: params are RunSpec fields verbatim.
+    assert [c.spec.protocol for c in cells] == ["mmr", "mmr", "resilient", "resilient"]
+
+
+def test_grid_dependent_axis_and_keep_filter():
+    grid = SweepSpec(
+        axes={"seed": (0, 1, 2), "rounds": _rounds_axis},
+        base={"n": 4, "protocol": "mmr"},
+        factory=_grid_spec,
+        keep=lambda params: params["rounds"] != 12,
+    )
+    cells = grid.cells()
+    assert [(c.params["seed"], c.params["rounds"]) for c in cells] == [
+        (0, 10), (1, 10), (2, 10), (2, 14)
+    ]
+    assert [c.index for c in cells] == [0, 1, 2, 3]  # dense over kept cells
+    assert grid.specs()[3].rounds == 14
+
+
+# ----------------------------------------------------------------------
+# stream_sweep
+# ----------------------------------------------------------------------
+class CountingBackend(ExecutionBackend):
+    """Counts executions (serial in-process path only)."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.inner = SimulationBackend()
+        self.calls = 0
+
+    def execute(self, spec):
+        self.calls += 1
+        return self.inner.execute(spec)
+
+
+def test_serial_stream_is_lazy():
+    """The serial path executes one cell per next() — the memory bound
+    for grids that do not fit in memory."""
+    backend = CountingBackend()
+    stream = stream_sweep(sweep_specs(), backend=backend, max_workers=0)
+    assert backend.calls == 0  # generator: nothing runs before iteration
+    first = next(stream)
+    assert backend.calls == 1
+    assert first.index == 0 and first.result.backend == "simulator"
+    next(stream)
+    assert backend.calls == 2
+
+
+def _pick_protocol(result, params):
+    return (params.get("tag"), result.trace.meta["protocol"], len(result.trace.decisions))
+
+
+def test_reducer_rows_replace_results():
+    grid = SweepSpec(
+        axes={"protocol": ("mmr", "resilient")},
+        base={"n": 4, "rounds": 8, "tag": "t"},
+        factory=_grid_spec_with_tag,
+    )
+    outcomes = list(stream_sweep(grid, reducer=_pick_protocol, max_workers=0))
+    assert [o.result for o in outcomes] == [None, None]
+    assert [o.row[1] for o in outcomes] == ["mmr", "resilient"]
+    assert sweep_rows(grid, _pick_protocol, max_workers=0) == [o.row for o in outcomes]
+
+
+def _grid_spec_with_tag(*, protocol, n, rounds, tag, **_):
+    return RunSpec(n=n, rounds=rounds, protocol=protocol, seed=0)
+
+
+@pytest.mark.slow
+def test_streamed_pool_equals_serial_across_windows():
+    specs = sweep_specs()
+    serial = list(stream_sweep(specs, max_workers=0))
+    pooled = list(stream_sweep(specs, max_workers=2, window=2))  # 2 windows
+    assert [digest(o.result) for o in pooled] == [digest(o.result) for o in serial]
+    assert [o.index for o in pooled] == [0, 1, 2, 3]
+
+
+@pytest.mark.slow
+def test_streamed_reducer_rows_cross_the_pool():
+    grid = SweepSpec(
+        axes={"protocol": ("mmr", "resilient"), "tag": ("a", "b")},
+        base={"n": 4, "rounds": 8},
+        factory=_grid_spec_with_tag,
+    )
+    serial = sweep_rows(grid, _pick_protocol, max_workers=0)
+    pooled = sweep_rows(grid, _pick_protocol, max_workers=2, window=3, chunksize=2)
+    assert pooled == serial
+    assert [row[0] for row in pooled] == ["a", "b", "a", "b"]

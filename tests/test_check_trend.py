@@ -1,0 +1,111 @@
+"""The bench trend checker on synthetic BENCH_*.json pairs."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_trend", Path(__file__).resolve().parents[1] / "benchmarks" / "check_trend.py"
+)
+check_trend = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_trend)
+
+
+def write_bench(
+    directory: Path, bench: str, medians: dict[str, float], config: dict | None = None
+) -> None:
+    payload = {
+        "bench": bench,
+        "results": {
+            test: {
+                "median_s": median,
+                "p95_s": median,
+                "samples_s": [median],
+                "config": config or {},
+            }
+            for test, median in medians.items()
+        },
+    }
+    (directory / f"BENCH_{bench}.json").write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline, fresh = tmp_path / "baseline", tmp_path / "fresh"
+    baseline.mkdir()
+    fresh.mkdir()
+    return baseline, fresh
+
+
+def test_regression_beyond_factor_fails(dirs, capsys):
+    baseline, fresh = dirs
+    write_bench(baseline, "sweep", {"test_grid": 0.10})
+    write_bench(fresh, "sweep", {"test_grid": 0.25})  # 2.5x > 2x
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "sweep::test_grid" in out and "FAIL" in out
+
+
+def test_within_factor_and_improvements_pass(dirs, capsys):
+    baseline, fresh = dirs
+    write_bench(baseline, "sweep", {"steady": 0.10, "faster": 0.40})
+    write_bench(fresh, "sweep", {"steady": 0.18, "faster": 0.05})  # 1.8x, 0.125x
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    out = capsys.readouterr().out
+    assert "improved" in out and "OK" in out
+
+
+def test_custom_factor_is_respected(dirs):
+    baseline, fresh = dirs
+    write_bench(baseline, "bus", {"t": 0.10})
+    write_bench(fresh, "bus", {"t": 0.18})
+    args = ["--baseline", str(baseline), "--fresh", str(fresh)]
+    assert check_trend.main(args + ["--factor", "1.5"]) == 1
+    assert check_trend.main(args + ["--factor", "2.0"]) == 0
+
+
+def test_noise_floor_skips_tiny_medians(dirs, capsys):
+    baseline, fresh = dirs
+    write_bench(baseline, "micro", {"t": 0.0004})
+    write_bench(fresh, "micro", {"t": 0.004})  # 10x — but both tiny
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    assert "tiny" in capsys.readouterr().out
+
+
+def test_one_sided_entries_are_reported_not_failed(dirs, capsys):
+    baseline, fresh = dirs
+    write_bench(baseline, "old_bench", {"t": 0.5})
+    write_bench(fresh, "new_bench", {"t": 0.5})
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    out = capsys.readouterr().out
+    assert "gone" in out and "new" in out
+
+
+def test_config_change_is_skipped_not_failed(dirs, capsys):
+    """A bench rerun at a different scale (tiny CI mode vs full) is a
+    different experiment — never a regression."""
+    baseline, fresh = dirs
+    write_bench(baseline, "figure1", {"t": 0.06}, config={"tiny": True})
+    write_bench(fresh, "figure1", {"t": 1.5}, config={"tiny": False})  # 25x, but...
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    assert "config" in capsys.readouterr().out
+
+
+def test_malformed_json_is_ignored(dirs):
+    baseline, fresh = dirs
+    (baseline / "BENCH_broken.json").write_text("{not json")
+    write_bench(baseline, "ok", {"t": 0.1})
+    (fresh / "BENCH_ok.json").write_text(json.dumps({"bench": "ok", "results": "nope"}))
+    write_bench(fresh, "other", {"t": 0.1})
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+
+
+def test_load_medians_shape(dirs):
+    baseline, _ = dirs
+    write_bench(baseline, "sweep", {"a": 0.1, "b": 0.2}, config={"n": 6})
+    assert check_trend.load_medians(baseline) == {
+        ("sweep", "a"): (0.1, {"n": 6}),
+        ("sweep", "b"): (0.2, {"n": 6}),
+    }

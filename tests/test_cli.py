@@ -62,6 +62,38 @@ def test_deploy_smoke(capsys):
     assert "Deployment summary" in out
 
 
+def test_sweep_runs_named_grid_and_saves_rows(capsys, tmp_path):
+    import json
+
+    target = tmp_path / "rows.json"
+    assert main(["sweep", "pi-eta", "--n", "6", "--workers", "0", "--save", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "Theorem 2 boundary sweep" in out and "(n=6)" in out
+    payload = json.loads(target.read_text())
+    assert payload["grid"] == "pi-eta"
+    assert len(payload["rows"]) == 18  # η ∈ {2,4,6}, π ∈ 1..η+2
+    assert all(row["safe"] for row in payload["rows"] if row["guaranteed"])
+
+
+def test_sweep_rejects_size_override_where_inapplicable():
+    with pytest.raises(SystemExit):
+        main(["sweep", "sleepiness", "--n", "6"])
+
+
+def test_sweep_unknown_grid_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "no-such-grid"])
+
+
+def test_sweep_grid_choices_match_the_registry():
+    """The parser's static choices (kept static so ``--help`` does not
+    import the batch/engine layers) must track the grid registry."""
+    from repro.analysis.batch import GRIDS
+    from repro.cli import SWEEP_GRID_NAMES
+
+    assert tuple(sorted(GRIDS)) == tuple(sorted(SWEEP_GRID_NAMES))
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
