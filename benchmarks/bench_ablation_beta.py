@@ -22,12 +22,14 @@ cell), executed side by side through the engine's streamed parallel
 sweep with in-worker reduction to cadence rows.
 """
 
+import os
 from fractions import Fraction
 
 from repro.analysis.batch import (
     ablation_beta_grid,
     ablation_beta_sizings,
     ablation_beta_table,
+    grid_journal,
     reduce_ablation_beta,
 )
 from repro.core.bounds import beta_tilde
@@ -37,7 +39,16 @@ N, ROUNDS, ETA = 30, 40, 6
 SLEEP_AT = 14  # a third of the honest population sleeps after this round
 SLEEPERS = 9
 #: Machine-readable run configuration (recorded in BENCH_*.json).
-BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "eta": ETA, "sleep_at": SLEEP_AT, "streamed": True}
+BENCH_CONFIG = {
+    "n": N,
+    "rounds": ROUNDS,
+    "eta": ETA,
+    "sleep_at": SLEEP_AT,
+    "streamed": True,
+    # A warm journal replays cells instead of computing them, so a
+    # journaled run is a different experiment for the trend checker.
+    "journaled": bool(os.environ.get("REPRO_SWEEP_JOURNAL_DIR")),
+}
 
 
 def test_ablation_beta(benchmark, record):
@@ -45,7 +56,9 @@ def test_ablation_beta(benchmark, record):
         grid = ablation_beta_grid(
             n=N, rounds=ROUNDS, eta=ETA, sleep_at=SLEEP_AT, sleepers=SLEEPERS
         )
-        return sweep_rows(grid, reduce_ablation_beta)
+        return sweep_rows(
+            grid, reduce_ablation_beta, journal=grid_journal("ablation-beta"), resume=True
+        )
 
     rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
     record(ablation_beta_table(rows, n=N, eta=ETA, sleepers=SLEEPERS))

@@ -19,8 +19,11 @@ cell), executed through the engine's streamed parallel sweep; each
 worker ships back only the per-run admission sets, aggregated here.
 """
 
+import os
+
 from repro.analysis.batch import (
     aggregate_sleepiness,
+    grid_journal,
     reduce_sleepiness,
     sleepiness_grid,
     sleepiness_table,
@@ -30,13 +33,24 @@ from repro.engine.sweep import sweep_rows
 N, ROUNDS, ETA = 24, 30, 4
 SAMPLES = 12
 #: Machine-readable run configuration (recorded in BENCH_*.json).
-BENCH_CONFIG = {"n": N, "rounds": ROUNDS, "eta": ETA, "samples": SAMPLES, "streamed": True}
+BENCH_CONFIG = {
+    "n": N,
+    "rounds": ROUNDS,
+    "eta": ETA,
+    "samples": SAMPLES,
+    "streamed": True,
+    # A warm journal replays cells instead of computing them, so a
+    # journaled run is a different experiment for the trend checker.
+    "journaled": bool(os.environ.get("REPRO_SWEEP_JOURNAL_DIR")),
+}
 
 
 def test_ablation_sleepiness(benchmark, record):
     def experiment():
         grid = sleepiness_grid(samples=SAMPLES, n=N, rounds=ROUNDS, eta=ETA)
-        return sweep_rows(grid, reduce_sleepiness)
+        return sweep_rows(
+            grid, reduce_sleepiness, journal=grid_journal("sleepiness"), resume=True
+        )
 
     rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
     record(sleepiness_table(rows, n=N, eta=ETA))

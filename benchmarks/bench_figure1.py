@@ -21,7 +21,7 @@ import os
 from fractions import Fraction
 
 from repro.analysis import format_table
-from repro.analysis.batch import figure1_grid, figure1_table, reduce_figure1
+from repro.analysis.batch import figure1_grid, figure1_table, grid_journal, reduce_figure1
 from repro.core.bounds import beta_tilde, beta_tilde_one_third, figure1_curve
 from repro.engine.sweep import sweep_rows
 
@@ -32,7 +32,13 @@ THIRD = Fraction(1, 3)
 TINY = os.environ.get("REPRO_BENCH_TINY", "0").strip() in ("1", "true", "yes")
 
 #: Machine-readable run configuration (recorded in BENCH_*.json).
-BENCH_CONFIG = {"tiny": TINY, "beta": str(THIRD)}
+BENCH_CONFIG = {
+    "tiny": TINY,
+    "beta": str(THIRD),
+    # A warm journal replays cells instead of computing them, so a
+    # journaled run is a different experiment for the trend checker.
+    "journaled": bool(os.environ.get("REPRO_SWEEP_JOURNAL_DIR")),
+}
 
 
 def analytic_tables() -> str:
@@ -53,7 +59,10 @@ def empirical_probe() -> tuple[str, list[dict]]:
     n, eta, rounds = (12, 4, 24) if TINY else (45, 4, 50)
     gammas = (0.0, 0.10) if TINY else (0.0, 0.10, 0.20, 0.28)
     outcomes = sweep_rows(
-        figure1_grid(n=n, eta=eta, rounds=rounds, gammas=gammas), reduce_figure1
+        figure1_grid(n=n, eta=eta, rounds=rounds, gammas=gammas),
+        reduce_figure1,
+        journal=grid_journal("figure1"),
+        resume=True,
     )
     return figure1_table(outcomes, n=n), outcomes
 

@@ -21,18 +21,31 @@ documented: the paper's expiration window ``[r − η, r]`` is inclusive
 forks appear from π = η + 1 onward.
 """
 
-from repro.analysis.batch import pi_eta_grid, pi_eta_table, reduce_pi_eta
+import os
+
+from repro.analysis.batch import grid_journal, pi_eta_grid, pi_eta_table, reduce_pi_eta
 from repro.engine.sweep import sweep_rows
 
 N = 20
 
 #: Machine-readable run configuration (recorded in BENCH_*.json).
-BENCH_CONFIG = {"n": N, "target_round": 10, "streamed": True}
+BENCH_CONFIG = {
+    "n": N,
+    "target_round": 10,
+    "streamed": True,
+    # A warm journal replays cells instead of computing them, so a
+    # journaled run is a different experiment for the trend checker.
+    "journaled": bool(os.environ.get("REPRO_SWEEP_JOURNAL_DIR")),
+}
 
 
 def test_pi_eta_sweep(benchmark, record):
     def experiment():
-        return sweep_rows(pi_eta_grid(n=N), reduce_pi_eta)
+        # With $REPRO_SWEEP_JOURNAL_DIR set, finished cells are
+        # checkpointed and an interrupted grid resumes where it stopped.
+        return sweep_rows(
+            pi_eta_grid(n=N), reduce_pi_eta, journal=grid_journal("pi-eta"), resume=True
+        )
 
     cells = benchmark.pedantic(experiment, rounds=1, iterations=1)
     record(pi_eta_table(cells, n=N))

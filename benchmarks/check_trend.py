@@ -22,7 +22,12 @@ Comparison rules:
 * medians below ``--min-seconds`` (default 5 ms) are skipped: at that
   scale shared-runner jitter swamps any real signal;
 * improvements are reported alongside regressions, so the uploaded CI
-  log doubles as the perf-trajectory summary.
+  log doubles as the perf-trajectory summary;
+* p95 is tracked too, but as a **non-fatal warning**: a >``--factor``
+  p95 regression prints a ``p95 WARN`` line without failing the run —
+  tail latency on shared runners is too noisy to gate on, yet a
+  sustained drift is worth seeing in the log.  The median stays the
+  gate.
 
 The committed baselines encode the speed class of the machine that
 wrote them.  If the CI runner fleet (or the committing machine) changes
@@ -42,9 +47,9 @@ DEFAULT_FACTOR = 2.0
 DEFAULT_MIN_SECONDS = 0.005
 
 
-def load_medians(directory: Path) -> dict[tuple[str, str], tuple[float, dict]]:
-    """``(bench, test) -> (median seconds, config)`` over ``BENCH_*.json``."""
-    medians: dict[tuple[str, str], tuple[float, dict]] = {}
+def load_medians(directory: Path) -> dict[tuple[str, str], tuple[float, float | None, dict]]:
+    """``(bench, test) -> (median s, p95 s | None, config)`` over ``BENCH_*.json``."""
+    medians: dict[tuple[str, str], tuple[float, float | None, dict]] = {}
     for path in sorted(directory.glob("BENCH_*.json")):
         try:
             payload = json.loads(path.read_text())
@@ -58,34 +63,50 @@ def load_medians(directory: Path) -> dict[tuple[str, str], tuple[float, dict]]:
             median = entry.get("median_s") if isinstance(entry, dict) else None
             if isinstance(median, (int, float)) and median >= 0:
                 config = entry.get("config")
+                p95 = entry.get("p95_s")
                 medians[(bench, test_name)] = (
                     float(median),
+                    float(p95) if isinstance(p95, (int, float)) and p95 >= 0 else None,
                     config if isinstance(config, dict) else {},
                 )
     return medians
 
 
 def compare(
-    baseline: dict[tuple[str, str], tuple[float, dict]],
-    fresh: dict[tuple[str, str], tuple[float, dict]],
+    baseline: dict[tuple[str, str], tuple[float, float | None, dict]],
+    fresh: dict[tuple[str, str], tuple[float, float | None, dict]],
     factor: float = DEFAULT_FACTOR,
     min_seconds: float = DEFAULT_MIN_SECONDS,
 ) -> dict[str, list]:
-    """Classify every entry; ``regressions`` non-empty means failure."""
+    """Classify every entry; ``regressions`` non-empty means failure.
+
+    ``p95_warnings`` collects >``factor`` p95 regressions on
+    config-matched entries — reported, never failed (the median is the
+    gate; tail latency only warns).
+    """
     report: dict[str, list] = {
         "regressions": [],
         "improvements": [],
         "steady": [],
         "skipped_small": [],
         "config_changed": [],
+        "p95_warnings": [],
         "baseline_only": sorted(set(baseline) - set(fresh)),
         "fresh_only": sorted(set(fresh) - set(baseline)),
     }
     for key in sorted(set(baseline) & set(fresh)):
-        (old, old_config), (new, new_config) = baseline[key], fresh[key]
+        (old, old_p95, old_config) = baseline[key]
+        (new, new_p95, new_config) = fresh[key]
         if old_config != new_config:
             report["config_changed"].append((key, old, new))
             continue
+        # The p95 check applies its own noise floor, *before* the median
+        # floor below: a sub-floor median with a large above-floor tail
+        # is exactly the drift worth warning about.
+        if old_p95 is not None and new_p95 is not None and max(old_p95, new_p95) >= min_seconds:
+            p95_ratio = new_p95 / old_p95 if old_p95 > 0 else float("inf")
+            if p95_ratio > factor:
+                report["p95_warnings"].append((key, old_p95, new_p95, p95_ratio))
         if max(old, new) < min_seconds:
             report["skipped_small"].append((key, old, new))
             continue
@@ -120,11 +141,18 @@ def render(report: dict[str, list], factor: float) -> str:
         lines.append(f"{'gone':>10}  {bench}::{test}  present in baseline only")
     for bench, test in report["fresh_only"]:
         lines.append(f"{'new':>10}  {bench}::{test}  present in fresh run only")
+    for (bench, test), old, new, ratio in report.get("p95_warnings", []):
+        lines.append(
+            f"{'p95 WARN':>10}  {bench}::{test}  {old * 1000:.1f}ms -> {new * 1000:.1f}ms"
+            f"  ({ratio:.2f}x, non-fatal: median is the gate)"
+        )
     verdict = (
         f"FAIL: {len(report['regressions'])} median regression(s) beyond {factor:g}x"
         if report["regressions"]
         else f"OK: no median regression beyond {factor:g}x"
     )
+    if report.get("p95_warnings"):
+        verdict += f" ({len(report['p95_warnings'])} p95 warning(s), non-fatal)"
     lines.append(verdict)
     return "\n".join(lines)
 

@@ -20,10 +20,12 @@ executed trace plus the cell's parameter dict.
 
 from __future__ import annotations
 
+import os
 import random
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from fractions import Fraction
+from pathlib import Path
 
 from repro.analysis.assumptions import (
     check_churn,
@@ -34,9 +36,9 @@ from repro.analysis.checkers import check_asynchrony_resilience, check_safety
 from repro.analysis.metrics import chain_growth_rate, decision_rounds
 from repro.analysis.tables import format_table
 from repro.core.bounds import beta_tilde
-from repro.engine.backend import EngineResult
+from repro.engine.backend import EngineResult, ExecutionBackend
 from repro.engine.spec import RunSpec
-from repro.engine.sweep import SweepSpec
+from repro.engine.sweep import SweepJournal, SweepSpec
 from repro.sleepy.adversary import CrashAdversary, StaleTipChooser, StaticVoteAdversary
 from repro.sleepy.schedule import RandomChurnSchedule, TableSchedule
 from repro.workloads.scenarios import churn_scenario, split_vote_attack_scenario
@@ -48,11 +50,16 @@ __all__ = [
     "GridJob",
     "ablation_beta_grid",
     "ablation_beta_table",
+    "deploy_smoke_grid",
+    "deploy_smoke_table",
     "figure1_grid",
     "figure1_table",
+    "grid_journal",
+    "make_deployment_backend",
     "pi_eta_grid",
     "pi_eta_table",
     "reduce_ablation_beta",
+    "reduce_deploy_smoke",
     "reduce_figure1",
     "reduce_pi_eta",
     "reduce_sleepiness",
@@ -363,6 +370,83 @@ def sleepiness_table(rows: Sequence[dict], n: int = 24, eta: int = 4) -> str:
 
 
 # ----------------------------------------------------------------------
+# D0 — deployment-substrate sweep smoke
+# ----------------------------------------------------------------------
+def deploy_smoke_spec(*, eta: int, n: int, rounds: int, seed: int, **_) -> RunSpec:
+    """One D0 cell: a clean real-time run of the resilient protocol."""
+    return RunSpec(n=n, rounds=rounds, protocol="resilient", eta=eta, seed=seed)
+
+
+def deploy_smoke_grid(
+    n: int = 4, rounds: int = 6, etas: Sequence[int] = (2, 3), seed: int = 0
+) -> SweepSpec:
+    """A tiny grid for the real asyncio substrate (one cell per η).
+
+    Deployment cells cost wall-clock time by construction (rounds are
+    Δ = 3δ of real time), which is exactly why they are worth
+    journaling: a resumed deployment sweep never re-pays a finished
+    cell.
+    """
+    return SweepSpec(
+        axes={"eta": tuple(etas)},
+        base={"n": n, "rounds": rounds, "seed": seed},
+        factory=deploy_smoke_spec,
+    )
+
+
+def make_deployment_backend(delta_ms: float = 10.0) -> ExecutionBackend:
+    """The deployment backend D0 runs on (sweeps use the serial lane)."""
+    from repro.engine.deploy_backend import DeploymentBackend
+
+    return DeploymentBackend(delta_s=delta_ms / 1000.0)
+
+
+def reduce_deploy_smoke(result: EngineResult, params: dict) -> dict:
+    """Reduce one deployment run to its (η, decided, safe) row.
+
+    Only fields that are deterministic on the real-time substrate under
+    local synchrony belong here — wall-clock seconds and message counts
+    vary run to run and would break resume bit-equivalence.
+    """
+    trace = result.trace
+    return {
+        "eta": params["eta"],
+        "decided": bool(trace.decisions),
+        "safe": check_safety(trace).ok,
+    }
+
+
+def deploy_smoke_table(rows: Sequence[dict], n: int = 4) -> str:
+    """The D0 smoke table over reduced deployment rows."""
+    return format_table(
+        ["η", "decided", "safe"],
+        [[r["eta"], r["decided"], r["safe"]] for r in rows],
+        title=f"D0: deployment-substrate sweep smoke (n={n}, real asyncio rounds)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Journals (checkpoint/resume for long grids)
+# ----------------------------------------------------------------------
+def grid_journal(name: str) -> SweepJournal | None:
+    """The journal for grid ``name`` under ``$REPRO_SWEEP_JOURNAL_DIR``.
+
+    Returns ``None`` when the environment variable is unset (the common
+    interactive case: no checkpointing).  The grid benches thread this
+    through :func:`~repro.engine.sweep.sweep_rows` with ``resume=True``,
+    so pointing the variable at a directory makes every experiment grid
+    checkpointed and resumable — an interrupted multi-hour bench re-runs
+    only its unfinished cells.
+    """
+    root = os.environ.get("REPRO_SWEEP_JOURNAL_DIR")
+    if not root:
+        return None
+    directory = Path(root)
+    directory.mkdir(parents=True, exist_ok=True)
+    return SweepJournal(directory / f"{name}.jsonl", grid=name)
+
+
+# ----------------------------------------------------------------------
 # The named-grid registry (CLI + tooling)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -376,6 +460,10 @@ class GridJob:
     table: Callable[..., str]
     #: Build/table kwargs the CLI may override (``--n`` maps to ``n``).
     sizeable: bool = True
+    #: Backend factory for grids that do not run on the default round
+    #: simulator (``None`` → simulator).  A factory, not an instance,
+    #: so building the registry never constructs a substrate.
+    backend: Callable[[], ExecutionBackend] | None = None
 
 
 GRIDS: dict[str, GridJob] = {
@@ -409,6 +497,14 @@ GRIDS: dict[str, GridJob] = {
             reducer=reduce_sleepiness,
             table=sleepiness_table,
             sizeable=False,
+        ),
+        GridJob(
+            name="deploy-smoke",
+            description="D0: tiny real-time deployment grid (serial lane, journaled like any sweep)",
+            build=deploy_smoke_grid,
+            reducer=reduce_deploy_smoke,
+            table=deploy_smoke_table,
+            backend=make_deployment_backend,
         ),
     )
 }

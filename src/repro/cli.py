@@ -10,8 +10,9 @@ library is explorable without writing a script:
 * ``tune-eta`` — the operator's η menu for a given per-round churn;
 * ``deploy``   — a real-time asyncio gossip deployment;
 * ``sweep``    — a named experiment grid, streamed across a process
-  pool (the paper's E3/F1/A1/A2 grids from
-  :mod:`repro.analysis.batch`).
+  pool (the paper's E3/F1/A1/A2 grids plus the D0 deployment smoke
+  from :mod:`repro.analysis.batch`), checkpointable to a journal with
+  ``--journal PATH`` and resumable with ``--resume``.
 """
 
 from __future__ import annotations
@@ -37,7 +38,7 @@ from repro.workloads import ethereum_outage_scenario, split_vote_attack_scenario
 #: The named experiment grids of :data:`repro.analysis.batch.GRIDS`,
 #: spelled out so the parser does not import the batch layer just to
 #: build its ``choices`` (``tests/test_cli.py`` pins the two in sync).
-SWEEP_GRID_NAMES = ("ablation-beta", "figure1", "pi-eta", "sleepiness")
+SWEEP_GRID_NAMES = ("ablation-beta", "deploy-smoke", "figure1", "pi-eta", "sleepiness")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="cells in flight at once — bounds sweep memory (default: 4 × workers × chunk)",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="checkpoint each cell's reduced row to this JSONL journal (fsync'd per window)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already journaled under an identical content digest (needs --journal)",
     )
     p.add_argument("--save", metavar="PATH", default=None, help="save the reduced rows as JSON")
     return parser
@@ -274,7 +286,7 @@ def _cmd_sweep(args) -> int:
     import json
 
     from repro.analysis.batch import GRIDS
-    from repro.engine.sweep import stream_sweep
+    from repro.engine.sweep import SweepJournal, stream_sweep
 
     job = GRIDS[args.grid]
     overrides = {}
@@ -282,15 +294,21 @@ def _cmd_sweep(args) -> int:
         if not job.sizeable:
             raise SystemExit(f"grid {job.name!r} does not take --n")
         overrides["n"] = args.n
+    if args.resume and args.journal is None:
+        raise SystemExit("--resume needs --journal PATH (nothing to resume from)")
+    journal = SweepJournal(args.journal, grid=job.name) if args.journal else None
     grid = job.build(**overrides)
     rows = [
         outcome.row
         for outcome in stream_sweep(
             grid,
             reducer=job.reducer,
+            backend=job.backend() if job.backend is not None else None,
             max_workers=args.workers,
             chunksize=args.chunk,
             window=args.window,
+            journal=journal,
+            resume=args.resume,
         )
     ]
     print(job.table(rows, **overrides))

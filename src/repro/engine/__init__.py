@@ -26,9 +26,11 @@ One protocol/adversary/schedule stack over both execution substrates:
   — the two substrates.
 * :mod:`repro.engine.sweep` — the sweep harness: :class:`SweepSpec`
   parameter grids, the chunked :func:`stream_sweep` generator (bounded
-  memory, per-cell reducers), and :class:`ParallelSweepBackend` /
+  memory, per-cell reducers), :class:`ParallelSweepBackend` /
   :func:`run_sweep`, fanning independent :class:`RunSpec` sweeps across
-  a process pool.
+  a process pool — and :class:`SweepJournal`, the checkpoint/resume
+  layer keying each cell's reduced row by a content-derived digest
+  (:func:`~repro.engine.spec.stable_digest`).
 
 Submodules that depend on the simulator or the protocol implementations
 are loaded lazily (PEP 562) so that low-level modules may import the
@@ -59,11 +61,14 @@ __all__ = [
     "RunSpec",
     "SimulationBackend",
     "SweepCell",
+    "SweepJournal",
     "SweepOutcome",
     "SweepSpec",
     "UndeliverableMessageError",
+    "canonical_form",
     "run_spec",
     "run_sweep",
+    "stable_digest",
     "stream_sweep",
     "sweep_rows",
 ]
@@ -80,10 +85,13 @@ _LAZY = {
     "ProtocolSpec": "repro.engine.registry",
     "SimulationBackend": "repro.engine.sim_backend",
     "SweepCell": "repro.engine.sweep",
+    "SweepJournal": "repro.engine.sweep",
     "SweepOutcome": "repro.engine.sweep",
     "SweepSpec": "repro.engine.sweep",
+    "canonical_form": "repro.engine.spec",
     "run_spec": "repro.engine.backend",
     "run_sweep": "repro.engine.sweep",
+    "stable_digest": "repro.engine.spec",
     "stream_sweep": "repro.engine.sweep",
     "sweep_rows": "repro.engine.sweep",
 }

@@ -44,9 +44,29 @@ class ExecutionBackend(ABC):
     #: Human-readable substrate name (recorded in trace metadata).
     name: str = "abstract"
 
+    #: Whether sweeps may ship this backend to process-pool workers.
+    #: Real-time substrates (the asyncio deployment) set this False and
+    #: run in :func:`~repro.engine.sweep.stream_sweep`'s serial lane —
+    #: still streamed, still journaled, just not pooled.
+    poolable: bool = True
+
     @abstractmethod
     def execute(self, spec: RunSpec) -> EngineResult:
         """Run ``spec`` to completion and assemble the result."""
+
+    def identity(self) -> object:
+        """Content identity of this backend for sweep-journal cell keys.
+
+        Covers the backend's class and configuration, so rows journaled
+        by one substrate (or one configuration of it) are never reused
+        by another.  Wrappers that only instrument an inner backend
+        (counters, tracers) should override this to delegate to
+        ``inner.identity()`` — instrumentation does not change what a
+        cell computes.
+        """
+        from repro.engine.spec import canonical_form
+
+        return canonical_form(self)
 
 
 def run_spec(spec: RunSpec, backend: ExecutionBackend | None = None) -> EngineResult:

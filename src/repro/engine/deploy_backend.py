@@ -69,6 +69,9 @@ class DeploymentBackend(ExecutionBackend):
     protocols: ProtocolRegistry = field(repr=False, default_factory=lambda: PROTOCOLS)
 
     name = "deployment"
+    #: Real-time substrate: sweeps run it in the serial lane (one
+    #: asyncio deployment at a time), never across a process pool.
+    poolable = False
 
     def execute(self, spec: RunSpec) -> EngineResult:
         """Synchronous entry point (creates its own event loop)."""

@@ -8,10 +8,26 @@ the deterministic round simulator or the wall-clock asyncio deployment.
 :class:`RunSpec` is also the public :class:`~repro.harness.TOBRunConfig`
 (the harness re-exports it under that name), so every existing
 scenario, bench, and example config runs on either substrate unchanged.
+
+This module also defines the **stable content digest** of a run:
+:func:`canonical_form` normalises an arbitrary model object (specs,
+schedules, adversaries, fractions, seeded RNGs, …) into a
+JSON-serialisable structure that depends only on *content* — never on
+memory addresses, hash seeds, or iteration order — and
+:func:`stable_digest` hashes that form.  The sweep checkpoint journal
+(:mod:`repro.engine.sweep`) keys each grid cell by this digest, so a
+changed parameter, seed, or backend configuration invalidates stale
+journal rows instead of silently reusing them.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import functools
+import hashlib
+import inspect
+import json
+import random
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -102,3 +118,88 @@ class RunSpec:
     def arrivals(self, round_number: int) -> Sequence[Transaction]:
         """Transactions arriving at the beginning of ``round_number``."""
         return self.transactions.get(round_number, ())
+
+    def digest(self) -> str:
+        """A stable, content-derived digest of this spec.
+
+        Two specs digest equal iff they describe the same run —
+        protocol, parameters, schedule, adversary, workload, and seed —
+        regardless of object identity or the process that computed it.
+        Compute digests on *freshly built* specs (grid expansion does):
+        stateful strategy objects (e.g. an adversary's captured tip)
+        mutate during execution, and a mid-run digest would reflect
+        that transient state.
+        """
+        return stable_digest(self)
+
+
+# ----------------------------------------------------------------------
+# Stable content digests
+# ----------------------------------------------------------------------
+def _qualified_name(obj: object) -> str:
+    module = getattr(obj, "__module__", type(obj).__module__)
+    qualname = getattr(obj, "__qualname__", type(obj).__qualname__)
+    return f"{module}:{qualname}"
+
+
+def _sort_key(form: object) -> str:
+    return json.dumps(form, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_form(value: object) -> object:
+    """A JSON-serialisable normal form of ``value``, content-derived.
+
+    The form is stable across processes and Python hash seeds: sets and
+    mappings are sorted by their elements' canonical encoding, floats
+    are spelled via ``repr`` (exact shortest round-trip), callables are
+    named by module-qualified name, seeded RNGs by their state, and
+    arbitrary model objects (schedules, adversaries, backends) by class
+    name plus instance ``vars``.  Raises :class:`TypeError` for objects
+    whose content cannot be derived (no fields, default ``repr``) —
+    better a loud failure than a digest that silently depends on a
+    memory address.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return ["float", repr(value)]
+    if isinstance(value, Fraction):
+        return ["fraction", value.numerator, value.denominator]
+    if isinstance(value, bytes):
+        return ["bytes", value.hex()]
+    if isinstance(value, range):
+        return ["range", value.start, value.stop, value.step]
+    if isinstance(value, (set, frozenset)):
+        return ["set", sorted((canonical_form(v) for v in value), key=_sort_key)]
+    if isinstance(value, Mapping):
+        items = [[canonical_form(k), canonical_form(v)] for k, v in value.items()]
+        return ["map", sorted(items, key=lambda kv: _sort_key(kv[0]))]
+    if isinstance(value, (list, tuple)):
+        return ["seq", [canonical_form(v) for v in value]]
+    if isinstance(value, functools.partial):
+        return [
+            "partial",
+            canonical_form(value.func),
+            canonical_form(value.args),
+            canonical_form(value.keywords),
+        ]
+    if isinstance(value, random.Random):
+        return ["rng", canonical_form(value.getstate())]
+    if isinstance(value, type) or inspect.isroutine(value):
+        return ["callable", _qualified_name(value)]
+    if dataclasses.is_dataclass(value):
+        fields = {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+        return ["obj", _qualified_name(type(value)), canonical_form(fields)]
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        return ["obj", _qualified_name(type(value)), canonical_form(state)]
+    raise TypeError(
+        f"cannot derive a stable digest for {type(value).__name__!r}: "
+        "no dataclass fields, no instance __dict__, and no canonical rule"
+    )
+
+
+def stable_digest(value: object) -> str:
+    """SHA-256 hex digest of :func:`canonical_form`\\ ``(value)``."""
+    blob = json.dumps(canonical_form(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

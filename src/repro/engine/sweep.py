@@ -16,6 +16,15 @@ once*, and — since PR 3 — entire experiment *grids*:
   process boundary then carries a dict per cell, not a block tree.
 * :class:`ParallelSweepBackend` remains the backend-shaped seam
   (``execute_many`` is now a thin collect over :func:`stream_sweep`).
+* :class:`SweepJournal` — since PR 4 — checkpoints a sweep's reduced
+  rows to an append-only JSONL file, keyed by a content-derived **cell
+  digest** (grid name + resolved params + seeded spec + backend
+  identity).  ``stream_sweep(..., journal=..., resume=True)`` skips
+  already-journaled cells and yields their cached rows *in cell order*,
+  so an interrupted multi-hour grid resumes bit-identically instead of
+  re-paying finished cells — and a changed grid, seed, or backend
+  configuration invalidates stale rows instead of silently reusing
+  them.
 
 Design points:
 
@@ -37,14 +46,17 @@ Design points:
 
 from __future__ import annotations
 
+import json
 import os
 from collections.abc import Callable, Iterator, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
 
 from repro.engine.backend import EngineResult, ExecutionBackend
-from repro.engine.spec import RunSpec
+from repro.engine.spec import RunSpec, canonical_form, stable_digest
 
 #: A per-cell reducer: ``(result, params) -> row``.  Runs in the worker
 #: process; whatever it returns crosses the process boundary *instead
@@ -145,6 +157,182 @@ def _as_cells(grid: SweepSpec | Sequence[SweepCell] | Sequence[RunSpec]) -> list
     return cells
 
 
+# ----------------------------------------------------------------------
+# The sweep checkpoint journal
+# ----------------------------------------------------------------------
+def _encode_row(value: object) -> object:
+    """Encode a reduced row as tagged JSON that round-trips *exactly*.
+
+    Resume equivalence demands bit-identical rows, so every container
+    the reducers emit keeps its type across the journal: fractions,
+    sets/frozensets (content-sorted — set equality is order-free),
+    tuples, bytes, and dicts (insertion order preserved).  Anything
+    else is a loud :class:`TypeError` — a row the journal cannot
+    faithfully replay must never be silently approximated.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    if isinstance(value, Fraction):
+        return {"__fraction__": [value.numerator, value.denominator]}
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, (set, frozenset)):
+        tag = "__set__" if isinstance(value, set) else "__frozenset__"
+        encoded = [_encode_row(v) for v in value]
+        return {tag: sorted(encoded, key=lambda e: json.dumps(e, sort_keys=True))}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_row(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_row(v) for v in value]
+    if isinstance(value, dict):
+        return {"__dict__": [[_encode_row(k), _encode_row(v)] for k, v in value.items()]}
+    raise TypeError(
+        f"journaled sweep rows must be plain data (dict/list/tuple/set/"
+        f"Fraction/scalars), got {type(value).__name__!r}"
+    )
+
+
+def _decode_row(value: object) -> object:
+    """Invert :func:`_encode_row` (raises on malformed entries)."""
+    if isinstance(value, list):
+        return [_decode_row(v) for v in value]
+    if isinstance(value, dict):
+        if len(value) != 1:
+            raise ValueError("malformed journal entry: untagged object")
+        (tag, payload), = value.items()
+        if tag == "__float__":
+            return float(payload)
+        if tag == "__fraction__":
+            numerator, denominator = payload
+            return Fraction(numerator, denominator)
+        if tag == "__bytes__":
+            return bytes.fromhex(payload)
+        if tag == "__set__":
+            return {_decode_row(v) for v in payload}
+        if tag == "__frozenset__":
+            return frozenset(_decode_row(v) for v in payload)
+        if tag == "__tuple__":
+            return tuple(_decode_row(v) for v in payload)
+        if tag == "__dict__":
+            return {_decode_row(k): _decode_row(v) for k, v in payload}
+        raise ValueError(f"malformed journal entry: unknown tag {tag!r}")
+    return value
+
+
+class SweepJournal:
+    """An append-only JSONL checkpoint of a sweep's reduced rows.
+
+    One line per executed cell: ``{"key": <digest>, "index": ...,
+    "params": ..., "row": ...}``.  The ``key`` is the content-derived
+    cell digest (:meth:`cell_key`) — grid name, resolved cell params,
+    the seeded :class:`RunSpec` itself, and the executing backend's
+    identity — so a resumed sweep reuses a row only when the cell would
+    recompute it bit-identically.  ``params`` and ``index`` are
+    diagnostics for humans reading the file; resolution goes by ``key``
+    alone.
+
+    Durability: appends are buffered and fsync'd once per window
+    (:func:`stream_sweep` drives the cadence) plus once at close, so a
+    crash loses at most the current window.  :meth:`load` tolerates a
+    torn final line — and any other undecodable line — by discarding
+    it: those cells simply re-run.
+
+    Args:
+        path: the JSONL file (parent directories are created lazily).
+            Use one file per grid: a non-``resume`` sweep truncates the
+            file, so sharing one path across grids would discard the
+            other grid's checkpoints.
+        grid: the grid's name, mixed into every cell key so rows
+            journaled for one named grid are never reused by another.
+        flush_every: fsync cadence override in fresh rows (default:
+            the sweep's window; every row in the serial lane).
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, grid: str = "", flush_every: int | None = None
+    ) -> None:
+        if flush_every is not None and flush_every <= 0:
+            raise ValueError("flush_every must be positive")
+        self.path = Path(path)
+        self.grid = grid
+        self.flush_every = flush_every
+        self._fh = None
+
+    def cell_key(self, cell: SweepCell, backend: ExecutionBackend) -> str:
+        """The content digest that keys ``cell``'s row in this journal."""
+        return stable_digest(
+            [
+                "sweep-cell",
+                self.grid,
+                canonical_form(cell.params),
+                canonical_form(cell.spec),
+                backend.identity(),
+            ]
+        )
+
+    def load(self) -> dict[str, object]:
+        """``key -> decoded row`` for every readable line (last wins).
+
+        A missing file is an empty journal; a torn or corrupt line is
+        discarded (its cell re-runs), never fatal.
+        """
+        rows: dict[str, object] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return rows
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                row = _decode_row(entry["row"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue
+            if isinstance(key, str):
+                rows[key] = row
+        return rows
+
+    # ------------------------------------------------------------------
+    # Writing (driven by stream_sweep)
+    # ------------------------------------------------------------------
+    def open(self, truncate: bool) -> None:
+        """Open for appending (``truncate=True`` starts a fresh journal)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w" if truncate else "a", encoding="utf-8")
+
+    def append(self, key: str, outcome: SweepOutcome) -> None:
+        """Buffer one executed cell's row (flushed per window)."""
+        entry = {
+            "key": key,
+            "index": outcome.index,
+            "params": _encode_row(outcome.params),
+            "row": _encode_row(outcome.row),
+        }
+        self._fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+
+    def flush(self) -> None:
+        """Flush buffered rows and fsync them to disk."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Flush, fsync, and close (safe to call when never opened)."""
+        if self._fh is None:
+            return
+        try:
+            self.flush()
+        finally:
+            self._fh.close()
+            self._fh = None
+
+
 def _execute_cell(payload: tuple[ExecutionBackend, SweepCell, Reducer | None]) -> SweepOutcome:
     """Worker entry point: run one cell, reduce or strip, ship back."""
     backend, cell, reducer = payload
@@ -160,37 +348,15 @@ def default_worker_count() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def stream_sweep(
-    grid: SweepSpec | Sequence[SweepCell] | Sequence[RunSpec],
-    reducer: Reducer | None = None,
-    backend: ExecutionBackend | None = None,
-    max_workers: int | None = None,
-    chunksize: int = 1,
-    window: int | None = None,
+def _stream_cells(
+    cells: Sequence[SweepCell],
+    reducer: Reducer | None,
+    backend: ExecutionBackend,
+    workers: int,
+    chunksize: int,
+    window: int | None,
 ) -> Iterator[SweepOutcome]:
-    """Execute ``grid`` and yield :class:`SweepOutcome`\\ s in cell order.
-
-    Memory is bounded by the *window*: the pool executes ``window``
-    cells at a time (default ``4 × workers × chunksize``), so at most
-    one window of results — rows, with a ``reducer`` — is ever buffered
-    between the pool and the consumer.  The serial path (``max_workers=0``,
-    a single cell, or a sandbox that cannot spawn processes) executes
-    lazily, one cell per ``next()``.
-
-    ``reducer`` must be picklable (an importable function/class or a
-    ``functools.partial`` of one); it runs inside the worker, and the
-    sweep ships back its return value instead of the full result.
-    """
-    if chunksize <= 0:
-        raise ValueError("chunksize must be positive")
-    if window is not None and window <= 0:
-        raise ValueError("window must be positive")
-    if backend is None:
-        from repro.engine.sim_backend import SimulationBackend
-
-        backend = SimulationBackend()
-    cells = _as_cells(grid)
-    workers = default_worker_count() if max_workers is None else max_workers
+    """The execution core: run ``cells`` and yield outcomes in order."""
     payloads = [(backend, cell, reducer) for cell in cells]
     if workers <= 0 or len(cells) <= 1:
         for payload in payloads:
@@ -233,6 +399,91 @@ def stream_sweep(
                 return
 
 
+def stream_sweep(
+    grid: SweepSpec | Sequence[SweepCell] | Sequence[RunSpec],
+    reducer: Reducer | None = None,
+    backend: ExecutionBackend | None = None,
+    max_workers: int | None = None,
+    chunksize: int = 1,
+    window: int | None = None,
+    journal: SweepJournal | str | os.PathLike | None = None,
+    resume: bool = False,
+) -> Iterator[SweepOutcome]:
+    """Execute ``grid`` and yield :class:`SweepOutcome`\\ s in cell order.
+
+    Memory is bounded by the *window*: the pool executes ``window``
+    cells at a time (default ``4 × workers × chunksize``), so at most
+    one window of results — rows, with a ``reducer`` — is ever buffered
+    between the pool and the consumer.  The serial path (``max_workers=0``,
+    a single cell, a non-``poolable`` backend such as the asyncio
+    deployment, or a sandbox that cannot spawn processes) executes
+    lazily, one cell per ``next()``.
+
+    ``reducer`` must be picklable (an importable function/class or a
+    ``functools.partial`` of one); it runs inside the worker, and the
+    sweep ships back its return value instead of the full result.
+
+    ``journal`` (a :class:`SweepJournal` or a path) checkpoints every
+    executed cell's reduced row, fsync'd once per window.  With
+    ``resume=True``, cells whose content digest is already journaled
+    are *not* re-executed: their cached rows are yielded at their
+    position in cell order, interleaved with freshly executed cells, so
+    an interrupted-then-resumed sweep is outcome-for-outcome identical
+    to an uninterrupted one.  Without ``resume``, an existing journal
+    file is truncated and rewritten.  Journaling requires a reducer
+    (the journal persists rows, not full results); ``resume`` without a
+    journal is ignored.
+    """
+    if chunksize <= 0:
+        raise ValueError("chunksize must be positive")
+    if window is not None and window <= 0:
+        raise ValueError("window must be positive")
+    if backend is None:
+        from repro.engine.sim_backend import SimulationBackend
+
+        backend = SimulationBackend()
+    cells = _as_cells(grid)
+    workers = default_worker_count() if max_workers is None else max_workers
+    if not getattr(backend, "poolable", True):
+        workers = 0  # real-time substrates run the serial lane
+    if journal is None:
+        yield from _stream_cells(cells, reducer, backend, workers, chunksize, window)
+        return
+    if reducer is None:
+        raise ValueError(
+            "journaled sweeps need a reducer: the journal persists reduced rows, "
+            "not full EngineResults"
+        )
+    if not isinstance(journal, SweepJournal):
+        journal = SweepJournal(journal)
+    keys = [journal.cell_key(cell, backend) for cell in cells]
+    cached = journal.load() if resume else {}
+    pending = [cell for cell, key in zip(cells, keys) if key not in cached]
+    # The serial lane has a one-cell window, and its cells (real-time
+    # deployments especially) are the expensive ones — fsync each.
+    if workers <= 0 or len(pending) <= 1:
+        flush_every = journal.flush_every or 1
+    else:
+        flush_every = journal.flush_every or window or max(1, 4 * workers * chunksize)
+    fresh = _stream_cells(pending, reducer, backend, workers, chunksize, window)
+    journal.open(truncate=not resume)
+    try:
+        appended = 0
+        for cell, key in zip(cells, keys):
+            if key in cached:
+                yield SweepOutcome(index=cell.index, params=dict(cell.params), row=cached[key])
+                continue
+            outcome = next(fresh)
+            journal.append(key, outcome)
+            appended += 1
+            if appended % flush_every == 0:
+                journal.flush()
+            yield outcome
+    finally:
+        fresh.close()
+        journal.close()
+
+
 def sweep_rows(
     grid: SweepSpec | Sequence[SweepCell] | Sequence[RunSpec],
     reducer: Reducer,
@@ -240,6 +491,8 @@ def sweep_rows(
     max_workers: int | None = None,
     chunksize: int = 1,
     window: int | None = None,
+    journal: SweepJournal | str | os.PathLike | None = None,
+    resume: bool = False,
 ) -> list[object]:
     """Collect every cell's reduced row, in cell order (one-call sweep)."""
     return [
@@ -251,6 +504,8 @@ def sweep_rows(
             max_workers=max_workers,
             chunksize=chunksize,
             window=window,
+            journal=journal,
+            resume=resume,
         )
     ]
 

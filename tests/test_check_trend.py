@@ -14,14 +14,18 @@ _SPEC.loader.exec_module(check_trend)
 
 
 def write_bench(
-    directory: Path, bench: str, medians: dict[str, float], config: dict | None = None
+    directory: Path,
+    bench: str,
+    medians: dict[str, float],
+    config: dict | None = None,
+    p95s: dict[str, float] | None = None,
 ) -> None:
     payload = {
         "bench": bench,
         "results": {
             test: {
                 "median_s": median,
-                "p95_s": median,
+                "p95_s": (p95s or {}).get(test, median),
                 "samples_s": [median],
                 "config": config or {},
             }
@@ -104,8 +108,67 @@ def test_malformed_json_is_ignored(dirs):
 
 def test_load_medians_shape(dirs):
     baseline, _ = dirs
-    write_bench(baseline, "sweep", {"a": 0.1, "b": 0.2}, config={"n": 6})
+    write_bench(baseline, "sweep", {"a": 0.1, "b": 0.2}, config={"n": 6}, p95s={"a": 0.15})
     assert check_trend.load_medians(baseline) == {
-        ("sweep", "a"): (0.1, {"n": 6}),
-        ("sweep", "b"): (0.2, {"n": 6}),
+        ("sweep", "a"): (0.1, 0.15, {"n": 6}),
+        ("sweep", "b"): (0.2, 0.2, {"n": 6}),
     }
+
+
+# ----------------------------------------------------------------------
+# p95 tracking: warns, never gates
+# ----------------------------------------------------------------------
+def test_p95_regression_warns_without_failing(dirs, capsys):
+    baseline, fresh = dirs
+    write_bench(baseline, "sweep", {"t": 0.10}, p95s={"t": 0.12})
+    write_bench(fresh, "sweep", {"t": 0.11}, p95s={"t": 0.30})  # p95 2.5x, median steady
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    out = capsys.readouterr().out
+    assert "p95 WARN" in out and "sweep::t" in out
+    assert "OK" in out and "1 p95 warning" in out
+
+
+def test_p95_within_factor_stays_silent(dirs, capsys):
+    baseline, fresh = dirs
+    write_bench(baseline, "sweep", {"t": 0.10}, p95s={"t": 0.12})
+    write_bench(fresh, "sweep", {"t": 0.11}, p95s={"t": 0.20})  # 1.67x < 2x
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    assert "p95" not in capsys.readouterr().out
+
+
+def test_p95_warns_even_when_medians_sit_below_the_floor(dirs, capsys):
+    """A spiky bench: tiny medians are skipped by the median gate, but
+    an above-floor p95 regression still warns — the tail has its own
+    noise floor, not the median's verdict."""
+    baseline, fresh = dirs
+    write_bench(baseline, "spiky", {"t": 0.004}, p95s={"t": 0.010})
+    write_bench(fresh, "spiky", {"t": 0.004}, p95s={"t": 0.100})  # 10x tail
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    out = capsys.readouterr().out
+    assert "p95 WARN" in out and "tiny" in out
+
+
+def test_p95_warning_respects_noise_floor_and_missing_entries(dirs, capsys):
+    baseline, fresh = dirs
+    # Both p95s below the 5 ms floor: 10x tail jitter is not a signal.
+    write_bench(baseline, "micro", {"t": 0.10}, p95s={"t": 0.0003})
+    write_bench(fresh, "micro", {"t": 0.10}, p95s={"t": 0.003})
+    # A baseline written before p95 tracking (no p95_s key) never warns.
+    legacy = {
+        "bench": "legacy",
+        "results": {"t": {"median_s": 0.1, "config": {}}},
+    }
+    (baseline / "BENCH_legacy.json").write_text(json.dumps(legacy))
+    write_bench(fresh, "legacy", {"t": 0.1}, p95s={"t": 9.9})
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    assert "p95" not in capsys.readouterr().out
+
+
+def test_median_regression_still_fails_with_p95_warning(dirs, capsys):
+    """The satellite contract: p95 warns, the median stays the gate."""
+    baseline, fresh = dirs
+    write_bench(baseline, "sweep", {"t": 0.10}, p95s={"t": 0.10})
+    write_bench(fresh, "sweep", {"t": 0.25}, p95s={"t": 0.40})
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "p95 WARN" in out and "FAIL" in out

@@ -75,6 +75,25 @@ def test_sweep_runs_named_grid_and_saves_rows(capsys, tmp_path):
     assert all(row["safe"] for row in payload["rows"] if row["guaranteed"])
 
 
+def test_sweep_journal_roundtrip_and_resume(capsys, tmp_path):
+    """A journaled deploy-smoke sweep resumes to a byte-identical table
+    without re-running any cell (the journal holds every row)."""
+    journal = tmp_path / "deploy.jsonl"
+    assert main(["sweep", "deploy-smoke", "--journal", str(journal)]) == 0
+    first = capsys.readouterr().out
+    assert "deployment-substrate sweep smoke" in first
+    assert journal.exists() and len(journal.read_text().splitlines()) == 2
+
+    assert main(["sweep", "deploy-smoke", "--journal", str(journal), "--resume"]) == 0
+    assert capsys.readouterr().out == first
+    assert len(journal.read_text().splitlines()) == 2  # nothing re-journaled
+
+
+def test_sweep_resume_requires_journal():
+    with pytest.raises(SystemExit, match="journal"):
+        main(["sweep", "pi-eta", "--resume"])
+
+
 def test_sweep_rejects_size_override_where_inapplicable():
     with pytest.raises(SystemExit):
         main(["sweep", "sleepiness", "--n", "6"])
