@@ -57,7 +57,7 @@ def test_ablation_beta(benchmark, record):
             n=N, rounds=ROUNDS, eta=ETA, sleep_at=SLEEP_AT, sleepers=SLEEPERS
         )
         return sweep_rows(
-            grid, reduce_ablation_beta, journal=grid_journal("ablation-beta"), resume=True
+            grid, reduce_ablation_beta, journal=grid_journal("ablation-beta"), resume="auto"
         )
 
     rows = benchmark.pedantic(experiment, rounds=1, iterations=1)

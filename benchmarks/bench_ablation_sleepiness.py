@@ -49,7 +49,7 @@ def test_ablation_sleepiness(benchmark, record):
     def experiment():
         grid = sleepiness_grid(samples=SAMPLES, n=N, rounds=ROUNDS, eta=ETA)
         return sweep_rows(
-            grid, reduce_sleepiness, journal=grid_journal("sleepiness"), resume=True
+            grid, reduce_sleepiness, journal=grid_journal("sleepiness"), resume="auto"
         )
 
     rows = benchmark.pedantic(experiment, rounds=1, iterations=1)

@@ -62,7 +62,7 @@ def empirical_probe() -> tuple[str, list[dict]]:
         figure1_grid(n=n, eta=eta, rounds=rounds, gammas=gammas),
         reduce_figure1,
         journal=grid_journal("figure1"),
-        resume=True,
+        resume="auto",
     )
     return figure1_table(outcomes, n=n), outcomes
 

@@ -44,7 +44,7 @@ def test_pi_eta_sweep(benchmark, record):
         # With $REPRO_SWEEP_JOURNAL_DIR set, finished cells are
         # checkpointed and an interrupted grid resumes where it stopped.
         return sweep_rows(
-            pi_eta_grid(n=N), reduce_pi_eta, journal=grid_journal("pi-eta"), resume=True
+            pi_eta_grid(n=N), reduce_pi_eta, journal=grid_journal("pi-eta"), resume="auto"
         )
 
     cells = benchmark.pedantic(experiment, rounds=1, iterations=1)

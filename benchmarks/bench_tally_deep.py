@@ -1,0 +1,173 @@
+"""E9 — deep-chain GA tally: per-round ancestor re-walks vs the
+incremental prefix-count tally.
+
+The last named hot path from the profiling roadmap: ``tally_votes``
+re-walked every vote's ancestor chain from scratch each round —
+O(votes · depth) per receiver per round — even though consecutive
+rounds tally nearly the same vote set.  The indexed chain core replaces
+the recount with a :class:`~repro.chain.tally.PrefixTally` held across
+rounds: each round pays only for the votes that actually moved (count
+updates along the old-tip→new-tip path, found via the O(log d) LCA),
+and grading is a scan of the counted nodes.
+
+This bench replays identical per-round vote windows at the acceptance
+configuration (n = 200 voters, chain depth ≥ 500) through both paths —
+the pre-refactor walk-based tally is preserved verbatim below — and
+asserts the outputs stay bit-identical while timing the difference.
+
+Wall-clock gates run off CI only (shared runners are noisy); CI pins
+output equality and uploads the measured numbers for the trend checker.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import Counter
+
+from repro.chain.block import GENESIS_TIP, Block, genesis_block
+from repro.chain.tally import PrefixTally
+from repro.chain.tree import BlockTree
+
+BENCH_CONFIG = {
+    "n": 200,
+    "depth": 520,
+    "rounds": 40,
+    "fork_voters": 24,
+    "stagger": 48,
+    "repeats": 5,
+}
+
+
+# ----------------------------------------------------------------------
+# The pre-refactor tally, verbatim (the walk-based baseline)
+# ----------------------------------------------------------------------
+def legacy_tally_votes(tree, votes, beta):
+    """``tally_votes`` as it stood before the indexed chain core."""
+    m = len(votes)
+    direct = Counter(votes.values())
+    counts: Counter = Counter()
+    for tip, weight in direct.items():
+        node = tip
+        while node is not GENESIS_TIP:
+            counts[node] += weight
+            node = tree.parent(node)
+        counts[GENESIS_TIP] += weight
+
+    num, den = beta.numerator, beta.denominator
+    grade1, grade0 = [], []
+    for tip, count in counts.items():
+        if den * count > (den - num) * m:
+            grade1.append(tip)
+        elif den * count > num * m:
+            grade0.append(tip)
+
+    def sort_key(tip):
+        return (tree.depth(tip), tip if tip is not None else "")
+
+    from repro.chain.tally import GAOutput
+
+    return GAOutput(
+        grade1=tuple(sorted(grade1, key=sort_key)),
+        grade0=tuple(sorted(grade0, key=sort_key)),
+        m=m,
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload: a deep chain, a minority fork, and slowly advancing votes
+# ----------------------------------------------------------------------
+def build_chain(tree, parent, length, salt):
+    ids = []
+    for i in range(length):
+        block = Block(parent=parent, proposer=i % 7, view=i + 1, salt=salt)
+        tree.add(block)
+        ids.append(block.block_id)
+        parent = block.block_id
+    return ids
+
+
+def build_workload():
+    """The tree plus one vote window per round.
+
+    The majority tracks the main chain's advancing tip, staggered over
+    many distinct blocks (an η-window over a churning network tallies
+    the latest votes of processes at many different positions, not one
+    agreed tip); a minority camps on a fork that split off near the
+    tip.  Per-round deltas therefore exercise both short moves along
+    the chain and LCA moves across the fork, while the walk-based
+    baseline re-walks every distinct voted tip's full ancestor chain.
+    """
+    n, depth, rounds = BENCH_CONFIG["n"], BENCH_CONFIG["depth"], BENCH_CONFIG["rounds"]
+    fork_voters, stagger = BENCH_CONFIG["fork_voters"], BENCH_CONFIG["stagger"]
+    tree = BlockTree([genesis_block()])
+    main = build_chain(tree, genesis_block().block_id, depth + rounds, salt=0)
+    fork = build_chain(tree, main[depth - 40], rounds, salt=1)
+
+    windows = []
+    for r in range(rounds):
+        votes = {}
+        for pid in range(n - fork_voters):
+            votes[pid] = main[depth + r - (pid % stagger)]
+        for j, pid in enumerate(range(n - fork_voters, n)):
+            votes[pid] = fork[min(r + (j % 12), len(fork) - 1)]
+        windows.append(votes)
+    return tree, windows
+
+
+def replay_legacy(tree, windows, beta):
+    started = time.perf_counter()
+    outputs = [legacy_tally_votes(tree, votes, beta) for votes in windows]
+    return time.perf_counter() - started, outputs
+
+
+def replay_incremental(tree, windows, beta):
+    tally = PrefixTally(tree)
+    started = time.perf_counter()
+    outputs = []
+    for votes in windows:
+        tally.set_votes(votes)
+        outputs.append(tally.grade(beta))
+    return time.perf_counter() - started, outputs
+
+
+def test_deep_chain_tally_speedup(record, bench_json):
+    from repro.chain.tally import DEFAULT_BETA
+
+    n, depth, rounds = BENCH_CONFIG["n"], BENCH_CONFIG["depth"], BENCH_CONFIG["rounds"]
+    repeats = BENCH_CONFIG["repeats"]
+    tree, windows = build_workload()
+
+    legacy_samples, incremental_samples = [], []
+    for _ in range(repeats):
+        legacy_s, legacy_out = replay_legacy(tree, windows, DEFAULT_BETA)
+        incremental_s, incremental_out = replay_incremental(tree, windows, DEFAULT_BETA)
+        legacy_samples.append(legacy_s)
+        incremental_samples.append(incremental_s)
+        # The refactor is semantically invisible: every round's grading
+        # is bit-identical to the walk-based recount.
+        assert incremental_out == legacy_out
+
+    legacy_best, incremental_best = min(legacy_samples), min(incremental_samples)
+    speedup = legacy_best / incremental_best
+    per_round_us = incremental_best / rounds * 1e6
+    table = "\n".join(
+        [
+            f"deep-chain GA tally, n={n}, depth={depth}, rounds={rounds} (best of {repeats}):",
+            f"  walk-based recount : {legacy_best * 1e3:8.1f} ms",
+            f"  incremental tally  : {incremental_best * 1e3:8.1f} ms",
+            f"  speedup            : {speedup:8.1f}x",
+            f"  per-round tally    : {per_round_us:8.1f} us (incremental)",
+        ]
+    )
+    record(table)
+    bench_json(
+        incremental_samples,
+        legacy_samples_s=legacy_samples,
+        legacy_median_s=sorted(legacy_samples)[len(legacy_samples) // 2],
+        speedup_best=speedup,
+    )
+
+    # Wall-clock gate off CI only (the acceptance criterion: ≥3x on deep chains).
+    if not os.environ.get("CI"):
+        assert speedup >= 3.0, f"deep-chain tally speedup regressed: {speedup:.2f}x"

@@ -20,7 +20,7 @@ Quick start::
 See README.md for the tour and DESIGN.md for the architecture.
 """
 
-from repro.chain import Block, BlockTree, Log, Mempool, Transaction
+from repro.chain import Block, BlockTree, Log, Mempool, PrefixTally, Transaction
 from repro.core.bounds import (
     beta_tilde,
     beta_tilde_one_third,
@@ -90,6 +90,7 @@ __all__ = [
     "Log",
     "MMRProcess",
     "Mempool",
+    "PrefixTally",
     "MessageBus",
     "MultiWindowAsynchrony",
     "NetworkConditions",

@@ -433,10 +433,12 @@ def grid_journal(name: str) -> SweepJournal | None:
 
     Returns ``None`` when the environment variable is unset (the common
     interactive case: no checkpointing).  The grid benches thread this
-    through :func:`~repro.engine.sweep.sweep_rows` with ``resume=True``,
-    so pointing the variable at a directory makes every experiment grid
-    checkpointed and resumable — an interrupted multi-hour bench re-runs
-    only its unfinished cells.
+    through :func:`~repro.engine.sweep.sweep_rows` with
+    ``resume="auto"``, so pointing the variable at a directory makes
+    every experiment grid checkpointed and resumable — an interrupted
+    multi-hour bench re-runs only its unfinished cells, and a *stale*
+    journal (another grid shape, backend, or code version) restarts
+    fresh instead of failing the bench.
     """
     root = os.environ.get("REPRO_SWEEP_JOURNAL_DIR")
     if not root:

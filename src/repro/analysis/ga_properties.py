@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from collections.abc import Mapping
 
 from repro.chain.block import BlockId
+from repro.chain.tally import PrefixTally
 from repro.chain.tree import BlockTree
 from repro.protocols.graded_agreement import GAOutput
 
@@ -67,11 +68,14 @@ def check_ga_properties(
                         f"graded-consistency: {pid} graded {_short(tip)} 1 but {qid} did not output it"
                     )
 
-    # Integrity: any output log is extended by some honest input.
+    # Integrity: any output log is extended by some honest input.  "Some
+    # input extends the output" is a prefix-count query, so one tally
+    # over the honest inputs answers it in O(1) per output tip.
     integrity = True
+    input_tally = PrefixTally(tree, honest_inputs)
     for pid, output in honest_outputs.items():
         for tip in output.all_output():
-            if not any(tree.is_prefix(tip, inp) for inp in honest_inputs.values()):
+            if input_tally.count(tip) == 0:
                 integrity = False
                 failures.append(
                     f"integrity: {pid} output {_short(tip)} but no honest input extends it"

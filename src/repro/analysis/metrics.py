@@ -73,11 +73,20 @@ def block_decision_latencies(trace: Trace) -> list[int]:
     measured to the first decision event whose log contains the block.
     MMR's headline is 3 rounds in the good case.
     """
+    # Assignments always cover whole root paths, so any block already
+    # attributed has all its ancestors attributed too (at the same or
+    # an earlier round): walking tip-down and stopping at the first
+    # known block visits each block once over the whole trace instead
+    # of re-walking every decided log from the root.
     first_decided: dict[str, int] = {}
     for event in sorted(trace.decisions, key=lambda d: d.round):
-        for block_id in trace.tree.path(event.tip):
-            if block_id not in first_decided:
-                first_decided[block_id] = event.round
+        node = event.tip
+        fresh: list[str] = []
+        while node is not None and node not in first_decided:
+            fresh.append(node)
+            node = trace.tree.parent(node)
+        for block_id in reversed(fresh):  # root-first, as a path walk would
+            first_decided[block_id] = event.round
     latencies: list[int] = []
     for block_id, decided_round in first_decided.items():
         view = trace.tree.get(block_id).view

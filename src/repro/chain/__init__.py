@@ -11,13 +11,18 @@ repository builds on:
   relations.
 * :mod:`repro.chain.transactions` — transactions, the global validity
   predicate, and a simple mempool.
-* :mod:`repro.chain.store` — an orphan-block buffer used by processes
-  whose view of the tree is built incrementally from received messages.
+* :mod:`repro.chain.store` — a bounded orphan-block buffer used by
+  processes whose view of the tree is built incrementally from
+  received messages.
+* :mod:`repro.chain.tally` — the incremental prefix-count tally
+  (:class:`PrefixTally`) and the exact-integer :class:`GAOutput`
+  grading that every protocol's GA instances share.
 """
 
 from repro.chain.block import Block, BlockId, GENESIS_TIP, genesis_block
 from repro.chain.log import Log
 from repro.chain.store import BlockBuffer
+from repro.chain.tally import GAOutput, PrefixTally
 from repro.chain.transactions import Mempool, Transaction, is_valid_transaction
 from repro.chain.tree import BlockTree
 
@@ -26,9 +31,11 @@ __all__ = [
     "BlockBuffer",
     "BlockId",
     "BlockTree",
+    "GAOutput",
     "GENESIS_TIP",
     "Log",
     "Mempool",
+    "PrefixTally",
     "Transaction",
     "genesis_block",
     "is_valid_transaction",

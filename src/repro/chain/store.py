@@ -5,6 +5,24 @@ in the gossip runtime) a block can arrive before its parent; a
 well-behaved process buffers such orphans and inserts them once the
 parent is known, mirroring how production blockchain clients handle
 out-of-order block arrival.
+
+The buffer is **bounded per source**: an adversary can multicast blocks
+claiming parents that will never be delivered, and an unbounded buffer
+would grow by one entry per such block forever.  Callers pass the
+*verified sender* of the message that carried the block as ``source``
+(signature verification upstream means a Byzantine process can only
+speak as itself), and each source may **vouch** for at most
+``max_orphans_per_source`` buffered orphans; exceeding the quota drops
+that source's own oldest vouch.  A buffered block re-offered by a
+second source gains that source's vouch too, and a block is only
+evicted when its *last* voucher drops it — so a Byzantine sender
+front-running an honest block (offering it first to get it charged to
+its own bucket, then flooding) cannot evict it once the honest carrier
+arrives.  Chaff from one identity therefore sheds only that identity's
+entries, total orphan memory is bounded by ``quota × senders``, and an
+honest sender — with at most a handful of blocks in flight — never
+hits the quota.  Observer/merge trees whose input is already validated
+opt out with ``max_orphans_per_source=None``.
 """
 
 from __future__ import annotations
@@ -14,6 +32,11 @@ from collections import defaultdict
 from repro.chain.block import Block, BlockId
 from repro.chain.tree import BlockTree
 
+#: Default per-source orphan quota — far above the block or two an
+#: honest proposer ever has awaiting a parent, far below what unbounded
+#: adversarial chaff would accumulate over a long run.
+DEFAULT_ORPHANS_PER_SOURCE = 32
+
 
 class BlockBuffer:
     """Feeds received blocks into a :class:`BlockTree`, buffering orphans.
@@ -22,23 +45,50 @@ class BlockBuffer:
     buffered descendants that become insertable.  Returns the list of
     block ids actually inserted (empty if the block was buffered or
     already known).
+
+    Each ``source`` (the verified sender of the carrying message;
+    ``None`` is one shared bucket) may vouch for at most
+    ``max_orphans_per_source`` buffered blocks at once (``None`` for
+    unbounded); exceeding the quota drops that source's oldest vouch,
+    and a block leaves the buffer only when its last voucher is gone.
+    Eviction therefore only ever sheds a flooding source's own backlog,
+    and a block evicted in error is insertable again on redelivery.
     """
 
-    def __init__(self, tree: BlockTree) -> None:
+    def __init__(
+        self,
+        tree: BlockTree,
+        max_orphans_per_source: int | None = DEFAULT_ORPHANS_PER_SOURCE,
+    ) -> None:
+        if max_orphans_per_source is not None and max_orphans_per_source <= 0:
+            raise ValueError("max_orphans_per_source must be positive (or None for unbounded)")
         self._tree = tree
+        self._quota = max_orphans_per_source
         self._orphans: dict[BlockId, Block] = {}
         self._waiting_on: dict[BlockId, list[BlockId]] = defaultdict(list)
+        # source -> the orphans it vouches for, oldest vouch first
+        # (dict-as-ordered-set), and the reverse map.
+        self._by_source: dict[object, dict[BlockId, None]] = {}
+        self._sources_of: dict[BlockId, set[object]] = {}
 
     def __len__(self) -> int:
         return len(self._orphans)
 
-    def offer(self, block: Block) -> list[BlockId]:
+    def offer(self, block: Block, source: object = None) -> list[BlockId]:
         """Insert ``block`` (and any unblocked orphans) into the tree."""
-        if block.block_id in self._tree or block.block_id in self._orphans:
+        if block.block_id in self._tree:
+            return []
+        if block.block_id in self._orphans:
+            # Already buffered: an independent delivery adds this
+            # source's vouch, so one voucher's eviction pressure cannot
+            # drop a block another delivery path still stands behind.
+            self._vouch(block.block_id, source)
             return []
         if block.parent is not None and block.parent not in self._tree:
             self._orphans[block.block_id] = block
             self._waiting_on[block.parent].append(block.block_id)
+            self._sources_of[block.block_id] = set()
+            self._vouch(block.block_id, source)
             return []
         inserted = [self._tree.add(block)]
         # Cascade: children of each newly inserted block may now be insertable.
@@ -47,9 +97,50 @@ class BlockBuffer:
             parent_id = frontier.pop()
             for child_id in self._waiting_on.pop(parent_id, ()):
                 child = self._orphans.pop(child_id)
+                self._forget(child_id)
                 inserted.append(self._tree.add(child))
                 frontier.append(child_id)
         return inserted
+
+    def _vouch(self, block_id: BlockId, source: object) -> None:
+        sources = self._sources_of[block_id]
+        if source in sources:
+            return
+        sources.add(source)
+        bucket = self._by_source.setdefault(source, {})
+        bucket[block_id] = None
+        if self._quota is not None and len(bucket) > self._quota:
+            self._drop_oldest_vouch(source, bucket)
+
+    def _forget(self, block_id: BlockId) -> None:
+        """Clear every vouch for a block leaving the buffer."""
+        for source in self._sources_of.pop(block_id):
+            bucket = self._by_source[source]
+            del bucket[block_id]
+            if not bucket:
+                del self._by_source[source]
+
+    def _drop_oldest_vouch(self, source: object, bucket: dict[BlockId, None]) -> None:
+        """Shed ``source``'s longest-standing vouch (its quota is full);
+        the block itself is evicted only if no other voucher remains."""
+        victim_id = next(iter(bucket))
+        del bucket[victim_id]
+        if not bucket:
+            del self._by_source[source]
+        sources = self._sources_of[victim_id]
+        sources.discard(source)
+        if sources:
+            return  # another delivery path still vouches for the block
+        victim = self._orphans.pop(victim_id)
+        del self._sources_of[victim_id]
+        waiters = self._waiting_on.get(victim.parent)
+        if waiters is not None:
+            try:
+                waiters.remove(victim_id)
+            except ValueError:
+                pass
+            if not waiters:
+                del self._waiting_on[victim.parent]
 
     def orphan_ids(self) -> frozenset[BlockId]:
         """Ids of blocks still waiting for an ancestor."""

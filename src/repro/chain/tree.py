@@ -5,6 +5,16 @@ identified by its tip block, ``Λ ⪯ Λ'`` iff the tip of ``Λ`` is an
 ancestor of the tip of ``Λ'`` (the empty log, tip ``None``, is a prefix
 of everything).  The tree also memoises per-tip transaction membership,
 which proposers use to avoid re-including transactions.
+
+Ancestry queries are indexed: :meth:`BlockTree.add` maintains a
+binary-lifting skip-pointer table (``up[b][k]`` is the ``2^k``-th
+ancestor of ``b``), so :meth:`~BlockTree.ancestor_at_depth`,
+:meth:`~BlockTree.is_prefix`, :meth:`~BlockTree.compatible`, and
+:meth:`~BlockTree.common_prefix` cost O(log d) on a depth-``d`` chain
+instead of the O(d) parent walks they replaced, and the leaf set is
+maintained incrementally so :meth:`~BlockTree.tips` stops scanning
+every block.  Every query is pinned against naive walk-based reference
+implementations by ``tests/chain/test_tree_index.py``.
 """
 
 from __future__ import annotations
@@ -37,6 +47,15 @@ class BlockTree:
         self._depth: dict[BlockId | None, int] = {GENESIS_TIP: 0}
         self._children: dict[BlockId | None, list[BlockId]] = {GENESIS_TIP: []}
         self._payload_ids: dict[BlockId | None, frozenset[str]] = {GENESIS_TIP: frozenset()}
+        # Binary-lifting skip pointers: _up[b][k] is the 2^k-th ancestor
+        # of b (GENESIS_TIP when the jump lands exactly on the virtual
+        # root); entry k exists iff depth(b) >= 2^k, so every stored
+        # jump is valid by construction.
+        self._up: dict[BlockId, list[BlockId | None]] = {}
+        # Insertion-ordered leaf set (dict-as-ordered-set): a block is
+        # inserted when added and evicted when it gains its first child,
+        # so iteration order matches the old full-scan tips() exactly.
+        self._leaves: dict[BlockId, None] = {}
         for block in blocks:
             self.add(block)
 
@@ -62,6 +81,19 @@ class BlockTree:
         self._payload_ids[block.block_id] = self._payload_ids[block.parent] | frozenset(
             tx.tx_id for tx in block.payload
         )
+        # Skip pointers: up[k] = up[up[k-1]][k-1], stopping once a jump
+        # reaches the virtual root (no jump can go past it).
+        up: list[BlockId | None] = [block.parent]
+        k = 0
+        while up[k] is not None:
+            above = self._up[up[k]]
+            if len(above) <= k:
+                break
+            up.append(above[k])
+            k += 1
+        self._up[block.block_id] = up
+        self._leaves.pop(block.parent, None)  # parent just stopped being a leaf
+        self._leaves[block.block_id] = None
         return block.block_id
 
     # ------------------------------------------------------------------
@@ -99,18 +131,22 @@ class BlockTree:
 
     def tips(self) -> tuple[BlockId, ...]:
         """All leaves of the tree (blocks without children)."""
-        return tuple(bid for bid in self._blocks if not self._children[bid])
+        return tuple(self._leaves)
 
     def ancestor_at_depth(self, tip: BlockId | None, depth: int) -> BlockId | None:
-        """The prefix of ``tip``'s log that has length ``depth``."""
+        """The prefix of ``tip``'s log that has length ``depth`` (O(log d))."""
         current_depth = self.depth(tip)
         if depth < 0 or depth > current_depth:
             raise ValueError(f"no ancestor of {tip!r} at depth {depth}")
+        steps = current_depth - depth
         node = tip
-        while current_depth > depth:
-            assert node is not None
-            node = self._blocks[node].parent
-            current_depth -= 1
+        k = 0
+        while steps:
+            if steps & 1:
+                assert node is not None
+                node = self._up[node][k]
+            steps >>= 1
+            k += 1
         return node
 
     def is_prefix(self, a: BlockId | None, b: BlockId | None) -> bool:
@@ -135,7 +171,8 @@ class BlockTree:
     def common_prefix(self, tips: Iterable[BlockId | None]) -> BlockId | None:
         """Tip of the longest common prefix of the given logs.
 
-        With no tips, the empty log.
+        With no tips, the empty log.  Each pairwise step is an O(log d)
+        LCA query over the skip-pointer index.
         """
         result: BlockId | None = GENESIS_TIP
         first = True
@@ -144,15 +181,30 @@ class BlockTree:
                 result = tip
                 first = False
                 continue
-            depth = min(self.depth(result), self.depth(tip))
-            a = self.ancestor_at_depth(result, depth)
-            b = self.ancestor_at_depth(tip, depth)
-            while a != b:
-                assert a is not None and b is not None
-                a = self._blocks[a].parent
-                b = self._blocks[b].parent
-            result = a
+            result = self._lca(result, tip)
         return result
+
+    def _lca(self, a: BlockId | None, b: BlockId | None) -> BlockId | None:
+        """Lowest common ancestor of two tips via binary lifting."""
+        depth = min(self.depth(a), self.depth(b))
+        a = self.ancestor_at_depth(a, depth)
+        b = self.ancestor_at_depth(b, depth)
+        if a == b:
+            return a
+        # Equal depth >= 1 and distinct, so both are real blocks with
+        # identically sized skip tables; descend the largest jumps that
+        # keep them apart.  Differing 2^k ancestors are never the
+        # virtual root (a jump of exactly depth lands both on it).
+        assert a is not None and b is not None
+        for k in range(len(self._up[a]) - 1, -1, -1):
+            table_a = self._up[a]
+            if k >= len(table_a):  # tables shrink as the nodes move up
+                continue
+            if table_a[k] != self._up[b][k]:
+                a = table_a[k]
+                b = self._up[b][k]
+                assert a is not None and b is not None
+        return self._blocks[a].parent
 
     def path(self, tip: BlockId | None) -> tuple[BlockId, ...]:
         """Block ids of the log identified by ``tip``, root first."""

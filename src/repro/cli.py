@@ -286,7 +286,7 @@ def _cmd_sweep(args) -> int:
     import json
 
     from repro.analysis.batch import GRIDS
-    from repro.engine.sweep import SweepJournal, stream_sweep
+    from repro.engine.sweep import SweepJournal, SweepJournalMismatch, stream_sweep
 
     job = GRIDS[args.grid]
     overrides = {}
@@ -298,19 +298,22 @@ def _cmd_sweep(args) -> int:
         raise SystemExit("--resume needs --journal PATH (nothing to resume from)")
     journal = SweepJournal(args.journal, grid=job.name) if args.journal else None
     grid = job.build(**overrides)
-    rows = [
-        outcome.row
-        for outcome in stream_sweep(
-            grid,
-            reducer=job.reducer,
-            backend=job.backend() if job.backend is not None else None,
-            max_workers=args.workers,
-            chunksize=args.chunk,
-            window=args.window,
-            journal=journal,
-            resume=args.resume,
-        )
-    ]
+    try:
+        rows = [
+            outcome.row
+            for outcome in stream_sweep(
+                grid,
+                reducer=job.reducer,
+                backend=job.backend() if job.backend is not None else None,
+                max_workers=args.workers,
+                chunksize=args.chunk,
+                window=args.window,
+                journal=journal,
+                resume=args.resume,
+            )
+        ]
+    except SweepJournalMismatch as exc:
+        raise SystemExit(str(exc)) from None
     print(job.table(rows, **overrides))
     if args.save:
         with open(args.save, "w") as fh:

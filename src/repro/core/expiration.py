@@ -55,6 +55,8 @@ class LatestVoteStore:
     _MISSING = object()
 
     def __init__(self) -> None:
+        # Mutation counter (see :attr:`version`).
+        self._version = 0
         # round -> sender -> tip of the unique vote, or EQUIVOCATED_VOTE.
         self._by_round: dict[int, dict[int, object]] = {}
         # round -> senders equivocating in that round (only rounds that
@@ -76,11 +78,25 @@ class LatestVoteStore:
     def __len__(self) -> int:
         return self._size
 
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every potentially mutating call.
+
+        Lets long-lived consumers (e.g. a :class:`~repro.chain.tally.
+        PrefixTally` fed from this store's window queries) skip
+        re-deriving their state when nothing was recorded or pruned
+        since they last synced.  Conservative: a call that turns out to
+        be a no-op (a duplicate redelivery) may still bump it — stale
+        versions only ever cause a redundant diff, never a stale read.
+        """
+        return self._version
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record(self, sender: int, round_number: int, tip: BlockId | None) -> None:
         """Record one vote.  A second, different tip marks an equivocation."""
+        self._version += 1
         bucket = self._by_round.get(round_number)
         if bucket is None:
             bucket = self._by_round[round_number] = {}
@@ -115,6 +131,7 @@ class LatestVoteStore:
         per-round table is adopted as one dict copy; otherwise entries
         merge one by one with the usual equivocation transitions.
         """
+        self._version += 1
         by_round = self._by_round
         for round_number, delta in table.items():
             bucket = by_round.get(round_number)
@@ -250,6 +267,8 @@ class LatestVoteStore:
         """
         dropped = 0
         stale = [r for r in self._by_round if r < before_round]
+        if stale:
+            self._version += 1
         for r in stale:
             bucket = self._by_round.pop(r)
             dropped += len(bucket)

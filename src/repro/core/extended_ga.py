@@ -28,9 +28,10 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.chain.block import BlockId
+from repro.chain.tally import PrefixTally
 from repro.chain.tree import BlockTree
 from repro.crypto.signatures import SecretKey
-from repro.protocols.graded_agreement import DEFAULT_BETA, GAOutput, tally_votes
+from repro.protocols.graded_agreement import DEFAULT_BETA, GAOutput
 from repro.sleepy.messages import CachedVerifier, Message, VoteMessage, make_vote
 from repro.sleepy.process import Process
 
@@ -66,6 +67,9 @@ class ExtendedGAInstance:
         for vote in initial_votes:
             self._record(self._m0, vote.sender, vote.tip, self._m0_rounds, vote.round)
         self._fresh: dict[int, object] = {}
+        # Graded through a persistent prefix tally: repeated output()
+        # calls as round votes trickle in pay only for the vote deltas.
+        self._tally = PrefixTally(tree)
 
     @staticmethod
     def _record(
@@ -117,7 +121,8 @@ class ExtendedGAInstance:
 
     def output(self) -> GAOutput:
         """Grade the tallied votes (Figure 2 thresholds)."""
-        return tally_votes(self._tree, self.tallied_votes(), self._beta)
+        self._tally.set_votes(self.tallied_votes())
+        return self._tally.grade(self._beta)
 
 
 class ExtendedGAProcess(Process):

@@ -60,10 +60,9 @@ class ResilientTOBProcess(SleepyTOBProcess):
     def vote_window(self, ga_round: int) -> tuple[int, int]:
         return (max(0, ga_round - self.eta), ga_round)
 
-    def receive_batch(self, round_number, batch):  # noqa: D102 - inherited docs
-        super().receive_batch(round_number, batch)
+    def vote_expiry_horizon(self, round_number: int) -> int:
         # Everything below the reach of any future window is expired.
-        self._votes.prune(round_number - self.eta)
+        return round_number - self.eta
 
 
 def resilient_factory(

@@ -114,7 +114,8 @@ class DeploymentBackend(ExecutionBackend):
         # corruption schedule, all via the shared engine bookkeeping.
         adversary = spec.resolved_adversary()
         tree = BlockTree([genesis_block()])
-        tree_buffer = BlockBuffer(tree)
+        # Omniscient adversary/trace tree: lossless, never evicts.
+        tree_buffer = BlockBuffer(tree, max_orphans_per_source=None)
         ctx = AdversaryContext(registry, tree)
         tracker = CorruptionTracker(adversary, ctx)
         # The corruption *schedule* is resolved up front (peek: no key
@@ -216,7 +217,8 @@ class DeploymentBackend(ExecutionBackend):
         # Merge every node's local tree (plus adversary-minted blocks)
         # into one omniscient analysis tree.
         tree = BlockTree([genesis_block()])
-        buffer = BlockBuffer(tree)
+        # Merging already-validated local trees: lossless, never evicts.
+        buffer = BlockBuffer(tree, max_orphans_per_source=None)
         pending = []
         locals_ = [node.process.tree for node in nodes.values()] + [adversary_tree]
         for local in locals_:

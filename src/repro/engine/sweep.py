@@ -24,7 +24,10 @@ once*, and — since PR 3 — entire experiment *grids*:
   so an interrupted multi-hour grid resumes bit-identically instead of
   re-paying finished cells — and a changed grid, seed, or backend
   configuration invalidates stale rows instead of silently reusing
-  them.
+  them.  Every journal opens with a one-line **manifest header**
+  (grid name, backend identity, code version); ``resume=`` rejects a
+  mismatched manifest (:class:`SweepJournalMismatch`) instead of
+  silently mixing rows written by another grid, substrate, or commit.
 
 Design points:
 
@@ -49,6 +52,7 @@ from __future__ import annotations
 import json
 import os
 from collections.abc import Callable, Iterator, Mapping, Sequence
+from typing import Literal
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -221,10 +225,24 @@ def _decode_row(value: object) -> object:
     return value
 
 
+class SweepJournalMismatch(ValueError):
+    """Raised when ``resume=`` meets a journal written by a different
+    grid, backend, or code version (see :meth:`SweepJournal.manifest`)."""
+
+
 class SweepJournal:
     """An append-only JSONL checkpoint of a sweep's reduced rows.
 
-    One line per executed cell: ``{"key": <digest>, "index": ...,
+    The first line is a **manifest header** ``{"manifest": {"grid":
+    ..., "backend": ..., "version": ...}}`` recording the grid name,
+    the executing backend's identity digest, and the code version that
+    wrote the file.  ``resume=`` refuses a journal whose manifest does
+    not match the resuming sweep (:class:`SweepJournalMismatch`)
+    instead of silently mixing rows across grids, backends, or
+    commits; an empty or missing file is always a valid (empty)
+    journal.
+
+    Then one line per executed cell: ``{"key": <digest>, "index": ...,
     "params": ..., "row": ...}``.  The ``key`` is the content-derived
     cell digest (:meth:`cell_key`) — grid name, resolved cell params,
     the seeded :class:`RunSpec` itself, and the executing backend's
@@ -260,17 +278,96 @@ class SweepJournal:
         self.flush_every = flush_every
         self._fh = None
 
-    def cell_key(self, cell: SweepCell, backend: ExecutionBackend) -> str:
-        """The content digest that keys ``cell``'s row in this journal."""
+    def cell_key(
+        self,
+        cell: SweepCell,
+        backend: ExecutionBackend,
+        backend_identity: object | None = None,
+    ) -> str:
+        """The content digest that keys ``cell``'s row in this journal.
+
+        ``backend_identity`` lets bulk callers hoist the (sweep-invariant)
+        ``backend.identity()`` computation out of their per-cell loop.
+        """
+        if backend_identity is None:
+            backend_identity = backend.identity()
         return stable_digest(
             [
                 "sweep-cell",
                 self.grid,
                 canonical_form(cell.params),
                 canonical_form(cell.spec),
-                backend.identity(),
+                backend_identity,
             ]
         )
+
+    def manifest(self, backend: ExecutionBackend) -> dict[str, str]:
+        """The manifest header this journal writes for ``backend``."""
+        from repro import __version__
+
+        return {
+            "grid": self.grid,
+            "backend": stable_digest(backend.identity()),
+            "version": __version__,
+        }
+
+    def load_manifest(self) -> dict | None:
+        """The manifest of the first non-blank line, if it is one.
+
+        Reads only the head of the file — resuming a large journal must
+        not pay a second full-file pass just to validate the header.
+        """
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        return None  # torn or foreign header
+                    if isinstance(entry, dict) and isinstance(entry.get("manifest"), dict):
+                        return entry["manifest"]
+                    return None  # first readable line is not a manifest header
+        except (FileNotFoundError, OSError):
+            return None
+        return None
+
+    def _validate_resume(
+        self, backend: ExecutionBackend, stored: dict | None, has_rows: bool
+    ) -> None:
+        """Reject resuming from a journal another context wrote.
+
+        A manifest that *is* present must match this sweep's grid name,
+        backend identity, and code version; readable rows under a
+        missing/torn manifest are rows of unknown provenance and are
+        rejected too.  A file with nothing reusable — missing, empty,
+        or only torn/garbage lines — is a valid fresh journal: crashes
+        mid-header must not strand the resume flow.  Operates on
+        pre-read state (``stored`` manifest, row presence) so the
+        resume path pays no extra file I/O.
+        """
+        if stored is not None:
+            expected = self.manifest(backend)
+            if stored != expected:
+                changed = sorted(
+                    field
+                    for field in set(stored) | set(expected)
+                    if stored.get(field) != expected.get(field)
+                )
+                raise SweepJournalMismatch(
+                    f"journal {self.path} was written by a different {', '.join(changed)} "
+                    f"(journal manifest {stored}, this sweep {expected}); refusing to mix "
+                    "rows (re-run without resume= to start a fresh journal)"
+                )
+            return
+        if has_rows:
+            raise SweepJournalMismatch(
+                f"journal {self.path} has rows but no manifest header; refusing to "
+                "resume from rows of unknown provenance (re-run without resume= to "
+                "start a fresh journal)"
+            )
 
     def load(self) -> dict[str, object]:
         """``key -> decoded row`` for every readable line (last wins).
@@ -300,10 +397,30 @@ class SweepJournal:
     # ------------------------------------------------------------------
     # Writing (driven by stream_sweep)
     # ------------------------------------------------------------------
-    def open(self, truncate: bool) -> None:
-        """Open for appending (``truncate=True`` starts a fresh journal)."""
+    def open(self, truncate: bool, manifest: Mapping[str, str] | None = None) -> None:
+        """Open for appending (``truncate=True`` starts a fresh journal).
+
+        ``manifest`` is written (and fsync'd) as the first line whenever
+        the journal starts empty — truncated, missing, or zero-length —
+        so even a crash before the first row leaves an attributable file.
+        Appending over a file whose last line is torn (a crash between
+        write and fsync leaves no trailing newline) first closes that
+        line, so the fragment stays an isolated discardable line instead
+        of merging with — and corrupting — the next appended row.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        starts_empty = truncate or not self.path.exists() or self.path.stat().st_size == 0
+        torn_tail = False
+        if not starts_empty:
+            with open(self.path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                torn_tail = probe.read(1) != b"\n"
         self._fh = open(self.path, "w" if truncate else "a", encoding="utf-8")
+        if torn_tail:
+            self._fh.write("\n")
+        if manifest is not None and starts_empty:
+            self._fh.write(json.dumps({"manifest": dict(manifest)}, separators=(",", ":")) + "\n")
+            self.flush()
 
     def append(self, key: str, outcome: SweepOutcome) -> None:
         """Buffer one executed cell's row (flushed per window)."""
@@ -407,7 +524,7 @@ def stream_sweep(
     chunksize: int = 1,
     window: int | None = None,
     journal: SweepJournal | str | os.PathLike | None = None,
-    resume: bool = False,
+    resume: bool | Literal["auto"] = False,
 ) -> Iterator[SweepOutcome]:
     """Execute ``grid`` and yield :class:`SweepOutcome`\\ s in cell order.
 
@@ -429,10 +546,13 @@ def stream_sweep(
     are *not* re-executed: their cached rows are yielded at their
     position in cell order, interleaved with freshly executed cells, so
     an interrupted-then-resumed sweep is outcome-for-outcome identical
-    to an uninterrupted one.  Without ``resume``, an existing journal
-    file is truncated and rewritten.  Journaling requires a reducer
-    (the journal persists rows, not full results); ``resume`` without a
-    journal is ignored.
+    to an uninterrupted one.  A journal whose manifest header names a
+    different grid, backend, or code version raises
+    :class:`SweepJournalMismatch`; ``resume="auto"`` instead restarts
+    such a stale journal fresh (the always-resume bench lane).  Without
+    ``resume``, an existing journal file is truncated and rewritten.
+    Journaling requires a reducer (the journal persists rows, not full
+    results); ``resume`` without a journal is ignored.
     """
     if chunksize <= 0:
         raise ValueError("chunksize must be positive")
@@ -456,8 +576,26 @@ def stream_sweep(
         )
     if not isinstance(journal, SweepJournal):
         journal = SweepJournal(journal)
-    keys = [journal.cell_key(cell, backend) for cell in cells]
-    cached = journal.load() if resume else {}
+    identity = backend.identity()  # sweep-invariant: compute once, not per cell
+    keys = [journal.cell_key(cell, backend, backend_identity=identity) for cell in cells]
+    if resume:
+        stored = journal.load_manifest()  # head-only read
+        cached = journal.load()  # the one full-file read of the resume path
+        try:
+            journal._validate_resume(backend, stored, bool(cached))
+        except SweepJournalMismatch:
+            if resume != "auto":
+                raise
+            # resume="auto": a stale journal (other grid/backend/version)
+            # restarts fresh instead of failing — the always-resume bench
+            # lane wants best-effort reuse, never a crash.
+            stored, cached = None, {}
+        # Nothing reusable (missing, empty, torn-header, or auto-reset):
+        # truncate so the manifest is again the first line.
+        truncate = not cached and stored is None
+    else:
+        cached = {}
+        truncate = True
     pending = [cell for cell, key in zip(cells, keys) if key not in cached]
     # The serial lane has a one-cell window, and its cells (real-time
     # deployments especially) are the expensive ones — fsync each.
@@ -466,7 +604,7 @@ def stream_sweep(
     else:
         flush_every = journal.flush_every or window or max(1, 4 * workers * chunksize)
     fresh = _stream_cells(pending, reducer, backend, workers, chunksize, window)
-    journal.open(truncate=not resume)
+    journal.open(truncate=truncate, manifest=journal.manifest(backend))
     try:
         appended = 0
         for cell, key in zip(cells, keys):
@@ -492,7 +630,7 @@ def sweep_rows(
     chunksize: int = 1,
     window: int | None = None,
     journal: SweepJournal | str | os.PathLike | None = None,
-    resume: bool = False,
+    resume: bool | Literal["auto"] = False,
 ) -> list[object]:
     """Collect every cell's reduced row, in cell order (one-call sweep)."""
     return [

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.chain.block import GENESIS_TIP, BlockId
+from repro.chain.tally import PrefixTally
 from repro.chain.tree import BlockTree
 from repro.core.expiration import LatestVoteStore
 
@@ -73,6 +74,12 @@ class FinalityGadget:
         self._tree = tree
         self._quorum = quorum
         self._acks = LatestVoteStore()
+        # The latest interpretable ack per process, as an incremental
+        # prefix-count tally: "acks extending Λ" is the same subtree
+        # count the GA tally queries, so quorum checks are O(1) lookups
+        # instead of per-candidate scans over every process's ack.
+        self._tally = PrefixTally(tree)
+        self._synced: tuple[int, int, int] | None = None
         self.finalized_tip: BlockId | None = GENESIS_TIP
         self.events: list[FinalizationEvent] = []
 
@@ -80,14 +87,27 @@ class FinalityGadget:
         """Ingest one acknowledgement (equivocations are discarded)."""
         self._acks.record(sender, round_number, tip)
 
+    def _sync(self, up_to_round: int) -> None:
+        """Roll the ack tally to the latest acks as of ``up_to_round``.
+
+        Keyed on (round, ack-store version, tree size): repeat queries
+        in a quiet round are free, and otherwise only the processes
+        whose latest ack changed — or whose acked block was just
+        learned — cost count updates.
+        """
+        key = (up_to_round, self._acks.version, len(self._tree))
+        if key == self._synced:
+            return
+        latest = self._acks.latest(0, up_to_round)
+        self._tally.set_votes(
+            {pid: tip for pid, tip in latest.items() if tip in self._tree}
+        )
+        self._synced = key
+
     def ack_count_for(self, tip: BlockId | None, up_to_round: int) -> int:
         """Processes whose latest ack (≤ ``up_to_round``) extends ``tip``."""
-        latest = self._acks.latest(0, up_to_round)
-        return sum(
-            1
-            for acked in latest.values()
-            if acked in self._tree and self._tree.is_prefix(tip, acked)
-        )
+        self._sync(up_to_round)
+        return self._tally.count(tip)
 
     def advance(self, round_number: int) -> FinalizationEvent | None:
         """Finalise the deepest quorum-acknowledged extension, if any.
@@ -98,12 +118,11 @@ class FinalityGadget:
         logs can never both gather it, and monotonicity makes the
         restriction sound rather than merely convenient.
         """
-        latest = self._acks.latest(0, round_number)
-        acked = [tip for tip in latest.values() if tip in self._tree]
+        self._sync(round_number)
         num, den = self._quorum.numerator, self._quorum.denominator
         best: BlockId | None = None
         best_depth = self._tree.depth(self.finalized_tip)
-        for candidate in set(acked):
+        for candidate in set(self._tally.votes.values()):
             # Ack-extension counts only grow walking toward the root, so
             # the first quorum hit from the tip downward is the deepest
             # finalisable prefix along this path.
@@ -113,8 +132,7 @@ class FinalityGadget:
                 if depth <= best_depth:
                     break  # cannot improve along this path
                 if self._tree.is_prefix(self.finalized_tip, node):
-                    count = sum(1 for tip in acked if self._tree.is_prefix(node, tip))
-                    if count * den > num * self.n:
+                    if self._tally.count(node) * den > num * self.n:
                         best, best_depth = node, depth
                         break
                 assert node is not None

@@ -15,49 +15,32 @@ arithmetic (``den·count > (den − num)·m``), never floats.
 
 The tally is shared by every protocol in the repository: the original
 MMR TOB, the extended GA of Figure 3, and the η-expiration TOB differ
-only in *which* votes they feed it.
+only in *which* votes they feed it.  The counting itself lives in the
+chain layer as the incremental :class:`~repro.chain.tally.PrefixTally`;
+:func:`tally_votes` is the one-shot compatibility API over it, and
+long-lived consumers hold a tally and feed it vote *deltas* instead of
+recounting every round.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.chain.block import GENESIS_TIP, BlockId
+from repro.chain.block import BlockId
+from repro.chain.tally import DEFAULT_BETA, GAOutput, PrefixTally, check_beta
 from repro.chain.tree import BlockTree
 from repro.crypto.signatures import SecretKey
 from repro.sleepy.messages import CachedVerifier, Message, VoteMessage, make_vote
 from repro.sleepy.process import Process
 
-#: The paper's default failure ratio (1/3-resilient MMR).
-DEFAULT_BETA = Fraction(1, 3)
-
-
-@dataclass(frozen=True)
-class GAOutput:
-    """Result of one graded-agreement tally.
-
-    Attributes:
-        grade1: tips of logs output with grade 1, sorted by depth.
-        grade0: tips of logs output with grade 0 (``> β·m`` but
-            ``≤ (1 − β)·m``), sorted by depth.
-        m: perceived participation — number of distinct processes whose
-            vote entered the tally.
-    """
-
-    grade1: tuple[BlockId | None, ...]
-    grade0: tuple[BlockId | None, ...]
-    m: int
-
-    def all_output(self) -> tuple[BlockId | None, ...]:
-        """Tips output with *any* grade (``(Λ, ∗)`` in the paper)."""
-        return self.grade1 + self.grade0
-
-    def has_grade1(self, tip: BlockId | None) -> bool:
-        """Whether ``tip``'s log was output with grade 1."""
-        return tip in self.grade1
+__all__ = [
+    "DEFAULT_BETA",
+    "GAOutput",
+    "GAVoteProcess",
+    "select_current_round_votes",
+    "tally_votes",
+]
 
 
 def tally_votes(
@@ -71,42 +54,14 @@ def tally_votes(
     responsible for vote selection (one per process, equivocations
     already discarded, unknown tips already excluded).  Every tip must
     be present in ``tree``.
+
+    One-shot: builds a fresh :class:`~repro.chain.tally.PrefixTally`
+    and grades it.  Callers that re-tally a slowly changing vote set
+    every round should hold a tally and :meth:`~repro.chain.tally.
+    PrefixTally.set_votes` the deltas instead.
     """
-    if not Fraction(0) < beta <= Fraction(1, 2):
-        # β ≤ 1/2 in every protocol this repository covers; reject junk early.
-        raise ValueError(f"failure ratio β must be in (0, 1/2], got {beta}")
-    m = len(votes)
-    if m == 0:
-        return GAOutput(grade1=(), grade0=(), m=0)
-
-    # Accumulate prefix counts: a vote for a tip counts for every
-    # ancestor of that tip (including the empty log).
-    direct = Counter(votes.values())
-    counts: Counter = Counter()
-    for tip, weight in direct.items():
-        node = tip
-        while node is not GENESIS_TIP:
-            counts[node] += weight
-            node = tree.parent(node)
-        counts[GENESIS_TIP] += weight
-
-    num, den = beta.numerator, beta.denominator
-    grade1: list[BlockId | None] = []
-    grade0: list[BlockId | None] = []
-    for tip, count in counts.items():
-        if den * count > (den - num) * m:
-            grade1.append(tip)
-        elif den * count > num * m:
-            grade0.append(tip)
-
-    def sort_key(tip: BlockId | None) -> tuple[int, str]:
-        return (tree.depth(tip), tip if tip is not None else "")
-
-    return GAOutput(
-        grade1=tuple(sorted(grade1, key=sort_key)),
-        grade0=tuple(sorted(grade0, key=sort_key)),
-        m=m,
-    )
+    check_beta(beta)
+    return PrefixTally(tree, votes).grade(beta)
 
 
 def select_current_round_votes(

@@ -23,10 +23,9 @@ class MMRProcess(SleepyTOBProcess):
     def vote_window(self, ga_round: int) -> tuple[int, int]:
         return (ga_round, ga_round)
 
-    def receive_batch(self, round_number, batch):  # noqa: D102 - inherited docs
-        super().receive_batch(round_number, batch)
+    def vote_expiry_horizon(self, round_number: int) -> int:
         # Votes older than the previous round can never be tallied again.
-        self._votes.prune(round_number - 1)
+        return round_number - 1
 
 
 def mmr_factory(

@@ -64,11 +64,12 @@ from fractions import Fraction
 
 from repro.chain.block import GENESIS_TIP, Block, BlockId, genesis_block
 from repro.chain.store import BlockBuffer
+from repro.chain.tally import PrefixTally
 from repro.chain.transactions import Mempool
 from repro.chain.tree import BlockTree
 from repro.core.expiration import LatestVoteStore
 from repro.crypto.signatures import SecretKey
-from repro.protocols.graded_agreement import DEFAULT_BETA, GAOutput, tally_votes
+from repro.protocols.graded_agreement import DEFAULT_BETA, GAOutput
 from repro.sleepy.messages import (
     CachedVerifier,
     Message,
@@ -127,6 +128,11 @@ class SleepyTOBProcess(Process):
         self.tree = BlockTree([genesis_block()])
         self._buffer = BlockBuffer(self.tree)
         self._votes = LatestVoteStore()
+        # The long-lived prefix-count tally every GA instance grades
+        # through: per round it absorbs the *delta* between consecutive
+        # vote windows (most senders' latest votes carry over) instead
+        # of re-walking every vote's ancestor chain.
+        self._tally = PrefixTally(self.tree)
         # view -> sender -> propose message (or _EQUIVOCATED marker).
         self._proposals: dict[int, dict[int, ProposeMessage | None]] = {}
 
@@ -144,6 +150,16 @@ class SleepyTOBProcess(Process):
         asynchrony-resilient protocol returns ``(ga_round − η, ga_round)``.
         """
         raise NotImplementedError
+
+    def vote_expiry_horizon(self, round_number: int) -> int | None:
+        """Round below which no future :meth:`vote_window` can reach.
+
+        ``receive_batch`` prunes the vote store up to this horizon after
+        every delivery; ``None`` (the base default) keeps everything.
+        The original protocol returns ``round − 1``; the η-expiration
+        protocol returns ``round − η``.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Send phase (Algorithm 1, per round kind)
@@ -213,6 +229,9 @@ class SleepyTOBProcess(Process):
         for message in batch.proposes:
             self._record_proposal(message, round_number)
         self._prune_proposals(round_number)
+        horizon = self.vote_expiry_horizon(round_number)
+        if horizon is not None:
+            self._votes.prune(horizon)
 
     def _prune_proposals(self, round_number: int) -> None:
         # A view-v proposal is only ever consulted at round 2v − 1; keep a
@@ -231,7 +250,10 @@ class SleepyTOBProcess(Process):
         # unboundedly (their view keys sit above the pruning horizon).
         if message.view > round_number // 2 + 1:
             return
-        self._buffer.offer(message.block)
+        # Keyed by the verified sender: a Byzantine proposer flooding
+        # never-attachable blocks exhausts its own orphan quota, never
+        # another sender's honestly out-of-order block.
+        self._buffer.offer(message.block, source=message.sender)
         per_view = self._proposals.setdefault(message.view, {})
         existing = per_view.get(message.sender, _MISSING)
         if existing is _MISSING:
@@ -247,17 +269,20 @@ class SleepyTOBProcess(Process):
         lo, hi = self.vote_window(ga_round)
         votes = self._votes.latest(lo, hi)
         known = {pid: tip for pid, tip in votes.items() if tip in self.tree}
-        output = tally_votes(self.tree, known, self._beta)
+        # Roll the persistent tally to this window's vote set: only the
+        # senders whose latest vote changed (or newly entered/left the
+        # window, or whose tip just became interpretable) cost tree
+        # walks — the unchanged majority is free.
+        self._tally.set_votes(known)
+        output = self._tally.grade(self._beta)
         if self._record_telemetry:
-            self._sample_tally(ga_round, known, output)
+            self._sample_tally(ga_round, output)
         return output
 
-    def _sample_tally(
-        self, ga_round: int, votes: dict[int, BlockId | None], output: GAOutput
-    ) -> None:
+    def _sample_tally(self, ga_round: int, output: GAOutput) -> None:
         m = output.m
         best_tip = self.tree.longest(output.grade1) if output.grade1 else GENESIS_TIP
-        best_count = sum(1 for tip in votes.values() if self.tree.is_prefix(best_tip, tip))
+        best_count = self._tally.count(best_tip)
         one_minus_beta = 1 - self._beta
         threshold = (one_minus_beta.numerator * m) // one_minus_beta.denominator
         self.telemetry.append(

@@ -72,7 +72,9 @@ class Simulation:
 
         # Omniscient tree for analysis: all blocks anyone ever creates.
         self._tree = BlockTree([genesis_block()])
-        self._tree_buffer = BlockBuffer(self._tree)
+        # The omniscient trace tree must be lossless (analysis depends
+        # on resolving every decided tip), so its buffer never evicts.
+        self._tree_buffer = BlockBuffer(self._tree, max_orphans_per_source=None)
         self._ctx = AdversaryContext(registry, self._tree)
         self._corruption = CorruptionTracker(adversary, self._ctx)
 

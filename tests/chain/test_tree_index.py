@@ -1,0 +1,243 @@
+"""The indexed chain core vs naive reference recomputations.
+
+The binary-lifting ancestor index and the incremental
+:class:`~repro.chain.tally.PrefixTally` are pure optimisations: every
+query must equal what a from-scratch parent walk / recount would
+produce, on any tree shape and any vote churn.  These property tests
+build randomized trees (deep chains, wide forks, mixed) and confront
+the indexed queries with literal reference implementations.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.chain.block import GENESIS_TIP, Block, genesis_block
+from repro.chain.tally import PrefixTally
+from repro.chain.tree import BlockTree, UnknownBlockError
+from repro.core.expiration import LatestVoteStore
+from repro.protocols.graded_agreement import tally_votes
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (deliberately naive)
+# ----------------------------------------------------------------------
+def naive_ancestor_at_depth(tree, tip, depth):
+    node, current = tip, tree.depth(tip)
+    while current > depth:
+        node = tree.get(node).parent
+        current -= 1
+    return node
+
+
+def naive_is_prefix(tree, a, b):
+    if tree.depth(a) > tree.depth(b):
+        return False
+    return naive_ancestor_at_depth(tree, b, tree.depth(a)) == a
+
+
+def naive_common_prefix(tree, tips):
+    result, first = GENESIS_TIP, True
+    for tip in tips:
+        if first:
+            result, first = tip, False
+            continue
+        depth = min(tree.depth(result), tree.depth(tip))
+        a = naive_ancestor_at_depth(tree, result, depth)
+        b = naive_ancestor_at_depth(tree, tip, depth)
+        while a != b:
+            a, b = tree.get(a).parent, tree.get(b).parent
+        result = a
+    return result
+
+
+def naive_tips(tree, insertion_order):
+    return tuple(bid for bid in insertion_order if not tree.children(bid))
+
+
+def naive_prefix_counts(tree, votes):
+    counts = {}
+    for tip in votes.values():
+        node = tip
+        while node is not GENESIS_TIP:
+            counts[node] = counts.get(node, 0) + 1
+            node = tree.get(node).parent
+        counts[GENESIS_TIP] = counts.get(GENESIS_TIP, 0) + 1
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Randomized tree shapes
+# ----------------------------------------------------------------------
+def build_tree(rng, blocks, shape):
+    """A seeded random tree; returns (tree, block ids in insertion order)."""
+    tree = BlockTree([genesis_block()])
+    ids = [genesis_block().block_id]
+    for i in range(blocks):
+        if shape == "deep":  # one long chain with rare shallow stubs
+            parent = ids[-1] if rng.random() < 0.95 else rng.choice(ids)
+        elif shape == "wide":  # everything forks near the root
+            parent = rng.choice(ids[: max(1, len(ids) // 8)] + [None])
+        else:  # mixed: uniform parents, occasional root forks
+            parent = rng.choice(ids + [None])
+        block = Block(parent=parent, proposer=i % 5, view=i + 1, salt=rng.randrange(1 << 30))
+        tree.add(block)
+        ids.append(block.block_id)
+    return tree, ids
+
+
+@pytest.mark.parametrize("shape", ["deep", "wide", "mixed"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_indexed_ancestry_queries_match_naive_walks(shape, seed):
+    rng = random.Random(seed)
+    tree, ids = build_tree(rng, 150, shape)
+    nodes = ids + [GENESIS_TIP]
+    for _ in range(400):
+        tip = rng.choice(nodes)
+        depth = rng.randrange(tree.depth(tip) + 1)
+        assert tree.ancestor_at_depth(tip, depth) == naive_ancestor_at_depth(tree, tip, depth)
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        assert tree.is_prefix(a, b) == naive_is_prefix(tree, a, b)
+        assert tree.compatible(a, b) == (
+            naive_is_prefix(tree, a, b) or naive_is_prefix(tree, b, a)
+        )
+        group = [rng.choice(nodes) for _ in range(rng.randrange(2, 5))]
+        assert tree.common_prefix(group) == naive_common_prefix(tree, group)
+
+
+@pytest.mark.parametrize("shape", ["deep", "wide", "mixed"])
+def test_tips_match_full_scan_in_insertion_order(shape):
+    rng = random.Random(7)
+    tree, ids = build_tree(rng, 120, shape)
+    assert tree.tips() == naive_tips(tree, ids)
+
+
+def test_deep_chain_boundary_depths():
+    """Power-of-two depths exercise every skip-table boundary."""
+    tree = BlockTree([genesis_block()])
+    chain = [genesis_block().block_id]
+    parent = chain[0]
+    for i in range(130):
+        block = Block(parent=parent, proposer=0, view=i + 1)
+        tree.add(block)
+        chain.append(block.block_id)
+        parent = block.block_id
+    tip = chain[-1]
+    assert tree.depth(tip) == 131
+    for depth in [1, 2, 3, 31, 32, 33, 63, 64, 65, 127, 128, 129, 130, 131]:
+        assert tree.ancestor_at_depth(tip, depth) == chain[depth - 1]
+    assert tree.ancestor_at_depth(tip, 0) is GENESIS_TIP
+    with pytest.raises(ValueError):
+        tree.ancestor_at_depth(tip, 132)
+
+
+def test_lca_of_root_level_forks():
+    """Forks whose only common prefix is the empty log (the regression
+    that requires guarding shrinking skip tables during LCA descent)."""
+    tree = BlockTree()
+    tips = []
+    for salt in (1, 2):
+        parent = None
+        for i in range(5):
+            block = Block(parent=parent, proposer=0, view=i + 1, salt=salt)
+            tree.add(block)
+            parent = block.block_id
+        tips.append(parent)
+    assert tree.common_prefix(tips) is GENESIS_TIP
+    assert tree.conflict(tips[0], tips[1])
+
+
+# ----------------------------------------------------------------------
+# PrefixTally vs from-scratch recounts under vote churn
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("shape", ["deep", "wide", "mixed"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_prefix_tally_counts_and_grades_under_churn(shape, seed):
+    rng = random.Random(seed)
+    tree, ids = build_tree(rng, 100, shape)
+    nodes = ids + [GENESIS_TIP]
+    tally = PrefixTally(tree)
+    votes = {}
+    betas = [Fraction(1, 3), Fraction(1, 4), Fraction(1, 2)]
+    for step in range(300):
+        sender = rng.randrange(20)
+        action = rng.random()
+        if action < 0.15 and sender in votes:
+            del votes[sender]
+            tally.remove_vote(sender)
+        else:
+            tip = rng.choice(nodes)
+            votes[sender] = tip
+            tally.set_vote(sender, tip)
+        if step % 20 == 0:
+            counts = naive_prefix_counts(tree, votes)
+            for node in rng.sample(nodes, 25):
+                assert tally.count(node) == counts.get(node, 0)
+            beta = rng.choice(betas)
+            assert tally.grade(beta) == tally_votes(tree, votes, beta)
+
+
+def test_set_votes_diff_equals_fresh_build():
+    rng = random.Random(3)
+    tree, ids = build_tree(rng, 80, "mixed")
+    nodes = ids + [GENESIS_TIP]
+    tally = PrefixTally(tree)
+    for _ in range(20):
+        target = {pid: rng.choice(nodes) for pid in rng.sample(range(30), rng.randrange(1, 25))}
+        tally.set_votes(target)
+        assert dict(tally.votes) == target
+        assert tally.grade() == PrefixTally(tree, target).grade()
+
+
+def test_tally_tracks_tree_growth():
+    """A vote moved onto a block inserted after the tally was built."""
+    tree = BlockTree([genesis_block()])
+    tally = PrefixTally(tree, {0: genesis_block().block_id})
+    block = Block(parent=genesis_block().block_id, proposer=0, view=1)
+    tree.add(block)  # block insertion needs no tally maintenance
+    assert tally.count(block.block_id) == 0
+    tally.move_vote(0, block.block_id)
+    assert tally.count(block.block_id) == 1
+    assert tally.count(genesis_block().block_id) == 1
+    assert tally.count(GENESIS_TIP) == 1
+
+
+def test_tally_rejects_unknown_tips_and_bad_transitions():
+    tree = BlockTree([genesis_block()])
+    tally = PrefixTally(tree)
+    with pytest.raises(UnknownBlockError):
+        tally.set_vote(0, "ab" * 32)
+    with pytest.raises(UnknownBlockError):
+        tally.count("ab" * 32)
+    tally.add_vote(0, GENESIS_TIP)
+    with pytest.raises(ValueError):
+        tally.add_vote(0, GENESIS_TIP)  # already tallied
+    with pytest.raises(ValueError):
+        tally.move_vote(1, GENESIS_TIP)  # nothing to move
+    with pytest.raises(ValueError):
+        tally.remove_vote(1)  # nothing to remove
+    tally.remove_vote(0)
+    assert len(tally) == 0
+    assert tally.grade().m == 0
+
+
+def test_grades_after_equivocator_discard_churn():
+    """The protocol feed: LatestVoteStore windows (equivocators dropped,
+    sleep/wake churn) rolled into one persistent tally per receiver."""
+    rng = random.Random(11)
+    tree, ids = build_tree(rng, 60, "mixed")
+    nodes = ids + [GENESIS_TIP]
+    store = LatestVoteStore()
+    tally = PrefixTally(tree)
+    eta = 3
+    for round_number in range(40):
+        for sender in range(12):
+            if rng.random() < 0.6:  # awake this round
+                store.record(sender, round_number, rng.choice(nodes))
+                if rng.random() < 0.1:  # equivocate: a second, different vote
+                    store.record(sender, round_number, rng.choice(nodes))
+        lo = max(0, round_number - eta)
+        window = store.latest(lo, round_number)
+        tally.set_votes(window)
+        assert tally.grade() == tally_votes(tree, window)

@@ -18,7 +18,13 @@ import pytest
 from repro.engine.backend import ExecutionBackend
 from repro.engine.sim_backend import SimulationBackend
 from repro.engine.spec import RunSpec, canonical_form, stable_digest
-from repro.engine.sweep import SweepJournal, SweepSpec, stream_sweep, sweep_rows
+from repro.engine.sweep import (
+    SweepJournal,
+    SweepJournalMismatch,
+    SweepSpec,
+    stream_sweep,
+    sweep_rows,
+)
 
 
 # ----------------------------------------------------------------------
@@ -86,8 +92,20 @@ class TaggedBackend(CountingBackend):
         return ["tagged", self.tag]
 
 
+def journal_entries(path):
+    entries = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn fragments are isolated lines, skipped like load()
+    return entries
+
+
 def journal_keys(path):
-    return [json.loads(line)["key"] for line in path.read_text().splitlines() if line.strip()]
+    return [entry["key"] for entry in journal_entries(path) if "key" in entry]
 
 
 # ----------------------------------------------------------------------
@@ -221,7 +239,9 @@ def test_changed_params_invalidate_and_overlap_is_reused(tmp_path):
     assert rows == sweep_rows(tiny_grid(rounds=10), _reduce, max_workers=0)
 
 
-def test_backend_identity_and_grid_name_key_the_cache(tmp_path):
+def test_mismatched_backend_or_grid_name_rejects_the_resume(tmp_path):
+    """A journal written for one grid/backend must never be resumed by
+    another — the manifest header rejects the mix outright."""
     path = tmp_path / "sweep.jsonl"
     grid = tiny_grid()
     sweep_rows(
@@ -231,20 +251,23 @@ def test_backend_identity_and_grid_name_key_the_cache(tmp_path):
         max_workers=0,
         journal=SweepJournal(path, grid="g"),
     )
-    # Same grid, different backend identity: nothing is reused.
+    before = path.read_text()
+    # Same grid, different backend identity: rejected, file untouched.
     other = TaggedBackend("b")
-    sweep_rows(
-        grid, _reduce, backend=other, max_workers=0,
-        journal=SweepJournal(path, grid="g"), resume=True,
-    )
-    assert other.calls == 4
-    # Same backend identity, different grid name: nothing is reused.
+    with pytest.raises(SweepJournalMismatch, match="backend"):
+        sweep_rows(
+            grid, _reduce, backend=other, max_workers=0,
+            journal=SweepJournal(path, grid="g"), resume=True,
+        )
+    assert other.calls == 0 and path.read_text() == before
+    # Same backend identity, different grid name: rejected, file untouched.
     renamed = TaggedBackend("a")
-    sweep_rows(
-        grid, _reduce, backend=renamed, max_workers=0,
-        journal=SweepJournal(path, grid="other"), resume=True,
-    )
-    assert renamed.calls == 4
+    with pytest.raises(SweepJournalMismatch, match="grid"):
+        sweep_rows(
+            grid, _reduce, backend=renamed, max_workers=0,
+            journal=SweepJournal(path, grid="other"), resume=True,
+        )
+    assert renamed.calls == 0 and path.read_text() == before
     # Identical identity + grid name: everything is reused.
     cached = TaggedBackend("a")
     sweep_rows(
@@ -252,6 +275,119 @@ def test_backend_identity_and_grid_name_key_the_cache(tmp_path):
         journal=SweepJournal(path, grid="g"), resume=True,
     )
     assert cached.calls == 0
+
+
+# ----------------------------------------------------------------------
+# The manifest header
+# ----------------------------------------------------------------------
+def test_manifest_is_the_first_line_and_records_grid_backend_version(tmp_path):
+    import repro
+    from repro.engine.spec import stable_digest
+
+    path = tmp_path / "sweep.jsonl"
+    backend = TaggedBackend("a")
+    sweep_rows(tiny_grid(), _reduce, backend=backend, max_workers=0,
+               journal=SweepJournal(path, grid="g"))
+    first = journal_entries(path)[0]
+    assert first == {
+        "manifest": {
+            "grid": "g",
+            "backend": stable_digest(backend.identity()),
+            "version": repro.__version__,
+        }
+    }
+    assert SweepJournal(path, grid="g").load_manifest() == first["manifest"]
+
+
+def test_changed_code_version_rejects_the_resume(tmp_path, monkeypatch):
+    path = tmp_path / "sweep.jsonl"
+    sweep_rows(tiny_grid(), _reduce, max_workers=0, journal=SweepJournal(path, grid="g"))
+    import repro
+
+    monkeypatch.setattr(repro, "__version__", "0.0.0-other")
+    with pytest.raises(SweepJournalMismatch, match="version"):
+        sweep_rows(
+            tiny_grid(), _reduce, max_workers=0,
+            journal=SweepJournal(path, grid="g"), resume=True,
+        )
+
+
+def test_rows_without_a_manifest_reject_the_resume(tmp_path):
+    """Pre-manifest journals (rows of unknown provenance) must re-run
+    explicitly, not resume silently."""
+    path = tmp_path / "sweep.jsonl"
+    grid = tiny_grid()
+    sweep_rows(grid, _reduce, max_workers=0, journal=SweepJournal(path, grid="g"))
+    # Strip the manifest header, keeping the rows.
+    lines = [line for line in path.read_text().splitlines() if "manifest" not in line]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(SweepJournalMismatch, match="manifest"):
+        sweep_rows(
+            grid, _reduce, max_workers=0,
+            journal=SweepJournal(path, grid="g"), resume=True,
+        )
+
+
+def test_resume_auto_restarts_a_stale_journal_instead_of_failing(tmp_path):
+    """The always-resume bench lane: a journal from another grid (or
+    backend, or version) is truncated and rebuilt, not a crash."""
+    path = tmp_path / "sweep.jsonl"
+    grid = tiny_grid()
+    sweep_rows(grid, _reduce, max_workers=0, journal=SweepJournal(path, grid="old-grid"))
+    backend = CountingBackend()
+    rows = sweep_rows(
+        grid, _reduce, backend=backend, max_workers=0,
+        journal=SweepJournal(path, grid="new-grid"), resume="auto",
+    )
+    assert rows == sweep_rows(grid, _reduce, max_workers=0)
+    assert backend.calls == len(grid.cells())  # full fresh run
+    # The rebuilt journal carries the new grid's manifest and rows only.
+    assert SweepJournal(path, grid="new-grid").load_manifest()["grid"] == "new-grid"
+    assert len(journal_keys(path)) == len(grid.cells())
+    # And a matching journal still resumes with zero re-execution.
+    cached = CountingBackend()
+    sweep_rows(
+        grid, _reduce, backend=cached, max_workers=0,
+        journal=SweepJournal(path, grid="new-grid"), resume="auto",
+    )
+    assert cached.calls == 0
+
+
+def test_torn_manifest_with_no_rows_resumes_as_a_fresh_journal(tmp_path):
+    """A crash mid-header (partial manifest bytes, zero rows) must not
+    strand the resume flow: nothing is reusable, so the file restarts
+    clean with a fresh first-line manifest."""
+    path = tmp_path / "sweep.jsonl"
+    path.write_text('{"manifest": {"grid": "g", "ba')  # torn mid-flush
+    grid = tiny_grid()
+    rows = sweep_rows(
+        grid, _reduce, max_workers=0,
+        journal=SweepJournal(path, grid="g"), resume=True,
+    )
+    assert rows == sweep_rows(grid, _reduce, max_workers=0)
+    entries = journal_entries(path)  # every line readable again
+    assert "manifest" in entries[0]
+    assert len(journal_keys(path)) == len(grid.cells())
+
+
+def test_empty_or_missing_journal_resumes_as_a_fresh_run(tmp_path):
+    grid = tiny_grid()
+    reference = sweep_rows(grid, _reduce, max_workers=0)
+    missing = sweep_rows(
+        grid, _reduce, max_workers=0,
+        journal=SweepJournal(tmp_path / "missing.jsonl", grid="g"), resume=True,
+    )
+    empty_path = tmp_path / "empty.jsonl"
+    empty_path.touch()  # the CI kill-before-first-open case
+    empty = sweep_rows(
+        grid, _reduce, max_workers=0,
+        journal=SweepJournal(empty_path, grid="g"), resume=True,
+    )
+    assert missing == reference and empty == reference
+    # Both journals gained a manifest plus every row.
+    for path in (tmp_path / "missing.jsonl", empty_path):
+        assert "manifest" in journal_entries(path)[0]
+        assert len(journal_keys(path)) == len(grid.cells())
 
 
 # ----------------------------------------------------------------------
@@ -272,6 +408,16 @@ def test_torn_final_line_is_discarded_and_only_that_cell_reruns(tmp_path):
     )
     assert backend.calls == 1  # exactly the torn cell
     assert rows == reference
+    # Appending closed the torn fragment on its own line instead of
+    # merging the fresh row into it: the repaired journal is fully
+    # readable and a second resume re-executes nothing.
+    assert len(journal_keys(path)) == len(grid.cells())
+    again = CountingBackend()
+    assert reference == sweep_rows(
+        grid, _reduce, backend=again, max_workers=0,
+        journal=SweepJournal(path, grid="g"), resume=True,
+    )
+    assert again.calls == 0
 
 
 def test_foreign_garbage_lines_are_skipped(tmp_path):

@@ -82,11 +82,12 @@ def test_sweep_journal_roundtrip_and_resume(capsys, tmp_path):
     assert main(["sweep", "deploy-smoke", "--journal", str(journal)]) == 0
     first = capsys.readouterr().out
     assert "deployment-substrate sweep smoke" in first
-    assert journal.exists() and len(journal.read_text().splitlines()) == 2
+    lines = journal.read_text().splitlines()
+    assert len(lines) == 3 and "manifest" in lines[0]  # header + one row per cell
 
     assert main(["sweep", "deploy-smoke", "--journal", str(journal), "--resume"]) == 0
     assert capsys.readouterr().out == first
-    assert len(journal.read_text().splitlines()) == 2  # nothing re-journaled
+    assert len(journal.read_text().splitlines()) == 3  # nothing re-journaled
 
 
 def test_sweep_resume_requires_journal():
