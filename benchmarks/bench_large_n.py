@@ -1,0 +1,155 @@
+"""The large-n lane: one interned tree per run vs n private trees.
+
+The sleepy model is most interesting when n is large and participation
+is sparse and churning — exactly the regime the per-receiver
+:class:`~repro.chain.tree.BlockTree` layout priced out of reach
+(memory and tree maintenance scaled O(n × chain)).  This bench runs a
+full n = 1000 simulation under a seeded churn schedule (~29% awake at
+equilibrium) twice:
+
+* **shared** — the default: one :class:`~repro.chain.shared.SharedChain`
+  per run, every receiver holding a visibility view;
+* **baseline** — ``share_chain=False``: a private tree per process, the
+  historical layout.
+
+and reports wall-clock and tracemalloc allocation peaks for both.  The
+two runs must decide identically (the shared chain is a representation
+change, pinned bit-for-bit by ``tests/engine/test_shared_equivalence``),
+and the shared run must allocate at least ``MIN_MEM_RATIO``× less at
+peak.  Wall-clock comparisons are recorded but only gated off CI
+(shared runners are too noisy to gate on).
+
+Run it directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_large_n.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+
+from repro.crypto.signatures import KeyRegistry
+from repro.engine.registry import PROTOCOLS
+from repro.engine.sim_backend import SimulationBackend
+from repro.engine.spec import RunSpec
+from repro.sleepy.schedule import RandomChurnSchedule
+from repro.sleepy.simulator import Simulation
+
+BENCH_CONFIG = {
+    "n": 1000,
+    "rounds": 12,
+    "protocol": "mmr",
+    "churn_per_round": 0.1,
+    "wake_probability": 0.04,
+    "min_awake": 200,
+    "initial_awake": 300,
+    "seed": 0,
+}
+
+#: The acceptance floor: the shared run's allocation peak must be at
+#: least this many times below the per-receiver-tree baseline's.
+MIN_MEM_RATIO = 5.0
+
+
+def _spec() -> RunSpec:
+    c = BENCH_CONFIG
+    return RunSpec(
+        n=c["n"],
+        rounds=c["rounds"],
+        protocol=c["protocol"],
+        schedule=RandomChurnSchedule(
+            c["n"],
+            c["churn_per_round"],
+            wake_probability=c["wake_probability"],
+            min_awake=c["min_awake"],
+            seed=c["seed"],
+            initial_awake=frozenset(range(c["initial_awake"])),
+        ),
+        seed=c["seed"],
+    )
+
+
+def _run(share_chain: bool) -> tuple[Simulation, float, int]:
+    """One full run; returns (simulation, wall seconds, peak bytes).
+
+    The bench conftest keeps tracemalloc tracing around the whole test,
+    so each phase just resets the peak — never stop the tracer here.
+    """
+    spec = _spec()
+    factory = PROTOCOLS.factory(
+        spec.protocol, eta=spec.eta, beta=spec.beta, record_telemetry=False
+    )
+    if not tracemalloc.is_tracing():  # direct (non-pytest) invocation
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    started = time.perf_counter()
+    simulation = Simulation(
+        KeyRegistry(spec.n, run_seed=spec.seed),
+        spec.resolved_schedule(),
+        spec.resolved_adversary(),
+        spec.resolved_network(),
+        factory,
+        share_chain=share_chain,
+    )
+    SimulationBackend.drive(simulation, spec)
+    wall = time.perf_counter() - started
+    peak = tracemalloc.get_traced_memory()[1]
+    return simulation, wall, peak
+
+
+def _decisions(simulation: Simulation) -> list[tuple[int, int, int, str | None]]:
+    return [(d.pid, d.round, d.view, d.tip) for d in simulation.trace.decisions]
+
+
+def test_large_n_interned_tree_vs_private_trees(record, bench_json):
+    shared, wall_shared, peak_shared = _run(share_chain=True)
+    baseline, wall_baseline, peak_baseline = _run(share_chain=False)
+
+    # Representation change only: identical executions, block for block.
+    assert _decisions(shared) == _decisions(baseline)
+    assert len(shared.chain.tree) == len(baseline.chain.tree)
+
+    mem_ratio = peak_baseline / peak_shared
+    wall_ratio = wall_baseline / wall_shared
+    record(
+        "large-n lane (n=%d, rounds=%d, %s, churning sleepy schedule)\n"
+        "  shared:   %6.1fs  peak %7.1f MiB   (one interned tree, %d blocks)\n"
+        "  baseline: %6.1fs  peak %7.1f MiB   (%d private trees)\n"
+        "  peak-memory ratio %.2fx (floor %.1fx), wall-clock ratio %.2fx\n"
+        "  decisions: %d (identical in both runs)"
+        % (
+            BENCH_CONFIG["n"],
+            BENCH_CONFIG["rounds"],
+            BENCH_CONFIG["protocol"],
+            wall_shared,
+            peak_shared / 2**20,
+            len(shared.chain.tree),
+            wall_baseline,
+            peak_baseline / 2**20,
+            BENCH_CONFIG["n"],
+            mem_ratio,
+            MIN_MEM_RATIO,
+            wall_ratio,
+            len(_decisions(shared)),
+        )
+    )
+    bench_json(
+        [wall_shared],
+        mem_ratio=mem_ratio,
+        wall_ratio=wall_ratio,
+        peak_mem_bytes_shared=peak_shared,
+        peak_mem_bytes_baseline=peak_baseline,
+        wall_baseline_s=wall_baseline,
+        n_blocks=len(shared.chain.tree),
+    )
+
+    # Allocation peaks are deterministic enough to gate everywhere.
+    assert mem_ratio >= MIN_MEM_RATIO, (
+        f"shared chain saved only {mem_ratio:.2f}x peak memory "
+        f"(floor {MIN_MEM_RATIO}x) over the per-receiver-tree baseline"
+    )
+    if not os.environ.get("CI"):
+        # Wall-clock only gates off CI: shared runners are too noisy.
+        assert wall_shared < wall_baseline

@@ -28,6 +28,11 @@ Comparison rules:
   tail latency on shared runners is too noisy to gate on, yet a
   sustained drift is worth seeing in the log.  The median stays the
   gate.
+* peak allocation (``peak_mem_bytes``, traced by the bench conftest's
+  tracemalloc fixture) gets the same treatment: a >``--factor`` growth
+  on a config-matched entry prints a ``mem WARN`` line, never fails.
+  Peaks below ``--min-mem-bytes`` (default 1 MiB) on both sides are
+  interpreter noise and stay silent.
 
 The committed baselines encode the speed class of the machine that
 wrote them.  If the CI runner fleet (or the committing machine) changes
@@ -45,11 +50,15 @@ from typing import Sequence
 
 DEFAULT_FACTOR = 2.0
 DEFAULT_MIN_SECONDS = 0.005
+DEFAULT_MIN_MEM_BYTES = 1 << 20
+
+#: One loaded entry: (median s, p95 s | None, peak bytes | None, config).
+Entry = tuple[float, "float | None", "float | None", dict]
 
 
-def load_medians(directory: Path) -> dict[tuple[str, str], tuple[float, float | None, dict]]:
-    """``(bench, test) -> (median s, p95 s | None, config)`` over ``BENCH_*.json``."""
-    medians: dict[tuple[str, str], tuple[float, float | None, dict]] = {}
+def load_medians(directory: Path) -> dict[tuple[str, str], Entry]:
+    """``(bench, test) -> (median, p95, peak bytes, config)`` over ``BENCH_*.json``."""
+    medians: dict[tuple[str, str], Entry] = {}
     for path in sorted(directory.glob("BENCH_*.json")):
         try:
             payload = json.loads(path.read_text())
@@ -64,25 +73,30 @@ def load_medians(directory: Path) -> dict[tuple[str, str], tuple[float, float | 
             if isinstance(median, (int, float)) and median >= 0:
                 config = entry.get("config")
                 p95 = entry.get("p95_s")
+                mem = entry.get("peak_mem_bytes")
                 medians[(bench, test_name)] = (
                     float(median),
                     float(p95) if isinstance(p95, (int, float)) and p95 >= 0 else None,
+                    float(mem) if isinstance(mem, (int, float)) and mem >= 0 else None,
                     config if isinstance(config, dict) else {},
                 )
     return medians
 
 
 def compare(
-    baseline: dict[tuple[str, str], tuple[float, float | None, dict]],
-    fresh: dict[tuple[str, str], tuple[float, float | None, dict]],
+    baseline: dict[tuple[str, str], Entry],
+    fresh: dict[tuple[str, str], Entry],
     factor: float = DEFAULT_FACTOR,
     min_seconds: float = DEFAULT_MIN_SECONDS,
+    min_mem_bytes: float = DEFAULT_MIN_MEM_BYTES,
 ) -> dict[str, list]:
     """Classify every entry; ``regressions`` non-empty means failure.
 
     ``p95_warnings`` collects >``factor`` p95 regressions on
     config-matched entries — reported, never failed (the median is the
-    gate; tail latency only warns).
+    gate; tail latency only warns).  ``mem_warnings`` does the same for
+    ``peak_mem_bytes`` growth beyond ``factor`` (above the
+    ``min_mem_bytes`` floor).
     """
     report: dict[str, list] = {
         "regressions": [],
@@ -91,12 +105,13 @@ def compare(
         "skipped_small": [],
         "config_changed": [],
         "p95_warnings": [],
+        "mem_warnings": [],
         "baseline_only": sorted(set(baseline) - set(fresh)),
         "fresh_only": sorted(set(fresh) - set(baseline)),
     }
     for key in sorted(set(baseline) & set(fresh)):
-        (old, old_p95, old_config) = baseline[key]
-        (new, new_p95, new_config) = fresh[key]
+        (old, old_p95, old_mem, old_config) = baseline[key]
+        (new, new_p95, new_mem, new_config) = fresh[key]
         if old_config != new_config:
             report["config_changed"].append((key, old, new))
             continue
@@ -107,6 +122,12 @@ def compare(
             p95_ratio = new_p95 / old_p95 if old_p95 > 0 else float("inf")
             if p95_ratio > factor:
                 report["p95_warnings"].append((key, old_p95, new_p95, p95_ratio))
+        # Memory has its own (byte) floor and, like p95, is independent
+        # of the median floor: a fast bench that balloons still warns.
+        if old_mem is not None and new_mem is not None and max(old_mem, new_mem) >= min_mem_bytes:
+            mem_ratio = new_mem / old_mem if old_mem > 0 else float("inf")
+            if mem_ratio > factor:
+                report["mem_warnings"].append((key, old_mem, new_mem, mem_ratio))
         if max(old, new) < min_seconds:
             report["skipped_small"].append((key, old, new))
             continue
@@ -146,13 +167,19 @@ def render(report: dict[str, list], factor: float) -> str:
             f"{'p95 WARN':>10}  {bench}::{test}  {old * 1000:.1f}ms -> {new * 1000:.1f}ms"
             f"  ({ratio:.2f}x, non-fatal: median is the gate)"
         )
+    for (bench, test), old, new, ratio in report.get("mem_warnings", []):
+        lines.append(
+            f"{'mem WARN':>10}  {bench}::{test}  {old / 2**20:.1f}MiB -> {new / 2**20:.1f}MiB"
+            f"  ({ratio:.2f}x, non-fatal: median is the gate)"
+        )
     verdict = (
         f"FAIL: {len(report['regressions'])} median regression(s) beyond {factor:g}x"
         if report["regressions"]
         else f"OK: no median regression beyond {factor:g}x"
     )
-    if report.get("p95_warnings"):
-        verdict += f" ({len(report['p95_warnings'])} p95 warning(s), non-fatal)"
+    warnings = len(report.get("p95_warnings", ())) + len(report.get("mem_warnings", ()))
+    if warnings:
+        verdict += f" ({warnings} p95/mem warning(s), non-fatal)"
     lines.append(verdict)
     return "\n".join(lines)
 
@@ -168,6 +195,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=DEFAULT_MIN_SECONDS,
         help="skip entries whose medians are both below this (noise floor)",
     )
+    parser.add_argument(
+        "--min-mem-bytes",
+        type=float,
+        default=DEFAULT_MIN_MEM_BYTES,
+        help="skip mem warnings when both peaks are below this (noise floor)",
+    )
     args = parser.parse_args(argv)
     if args.factor <= 1.0:
         parser.error("--factor must be > 1")
@@ -176,6 +209,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         load_medians(args.fresh),
         factor=args.factor,
         min_seconds=args.min_seconds,
+        min_mem_bytes=args.min_mem_bytes,
     )
     print(render(report, args.factor))
     return 1 if report["regressions"] else 0

@@ -16,6 +16,14 @@ JSON emission is automatic: an autouse fixture wall-times every bench
 test and records one sample.  Benches that repeat their measured kernel
 (receive path, bus replay) call the ``bench_json`` fixture instead with
 their real per-repeat samples and exact config.
+
+Every entry also carries ``peak_mem_bytes``: the autouse fixture traces
+the test under :mod:`tracemalloc` and merges the allocation peak into
+the entry (including entries the test wrote itself via ``bench_json``).
+Timings therefore include tracemalloc's tracing overhead — uniformly,
+on both sides of any ``check_trend.py`` comparison, since the committed
+baselines are produced by the same fixture.  Memory trends are
+compared by ``check_trend.py`` as a non-fatal ``mem WARN`` lane.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import json
 import math
 import statistics
 import time
+import tracemalloc
 from pathlib import Path
 
 import pytest
@@ -88,6 +97,20 @@ def write_bench_entry(
     return path
 
 
+def _annotate_bench_entry(bench_name: str, test_name: str, **extra) -> None:
+    """Merge extra keys into an already-written ``BENCH_*.json`` entry."""
+    path = REPO_ROOT / f"BENCH_{bench_name}.json"
+    try:
+        payload = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return
+    entry = payload.get("results", {}).get(test_name)
+    if not isinstance(entry, dict):
+        return
+    entry.update(extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 @pytest.fixture
 def bench_json(request):
     """``bench_json(samples_s, config=None, **extra)``: explicit JSON entry.
@@ -110,11 +133,39 @@ def bench_json(request):
 
 @pytest.fixture(autouse=True)
 def _bench_json_fallback(request):
-    """Wall-time every bench test into its module's ``BENCH_*.json``."""
+    """Wall-time and memory-trace every bench test into ``BENCH_*.json``.
+
+    tracemalloc runs around the whole test; the allocation peak lands
+    in the entry as ``peak_mem_bytes``.  Tests that sample memory
+    themselves (e.g. the large-n lane) may reset the peak mid-test but
+    should leave the tracer running.  The one sanctioned exception:
+    benches whose *result* is a wall-clock ratio between two kernels
+    (e.g. the bus-vs-pool replay) may suspend tracing around the timed
+    region — tracing taxes the two sides unevenly and distorts the
+    ratio — provided they restart it before returning, so the entry
+    still gets a (then partial) peak.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
     started = time.perf_counter()
     yield
     elapsed = time.perf_counter() - started
+    peak = tracemalloc.get_traced_memory()[1] if tracemalloc.is_tracing() else 0
+    if not was_tracing and tracemalloc.is_tracing():
+        tracemalloc.stop()
     if request.node.nodeid in _EXPLICIT_ENTRIES:
+        # The test wrote its own entry mid-run; fold the peak in now.
+        _annotate_bench_entry(
+            _bench_name(request), request.node.name, peak_mem_bytes=peak
+        )
         return
     config = dict(getattr(request.node.module, "BENCH_CONFIG", {}))
-    write_bench_entry(_bench_name(request), request.node.name, [elapsed], config)
+    write_bench_entry(
+        _bench_name(request),
+        request.node.name,
+        [elapsed],
+        config,
+        extra={"peak_mem_bytes": peak},
+    )

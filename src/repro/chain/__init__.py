@@ -17,10 +17,14 @@ repository builds on:
 * :mod:`repro.chain.tally` — the incremental prefix-count tally
   (:class:`PrefixTally`) and the exact-integer :class:`GAOutput`
   grading that every protocol's GA instances share.
+* :mod:`repro.chain.shared` — the run-shared interned tree
+  (:class:`SharedChain`) and per-receiver visibility views
+  (:class:`ChainView`) behind the simulator's large-n lane.
 """
 
 from repro.chain.block import Block, BlockId, GENESIS_TIP, genesis_block
 from repro.chain.log import Log
+from repro.chain.shared import ChainView, SharedChain, TreeLike
 from repro.chain.store import BlockBuffer
 from repro.chain.tally import GAOutput, PrefixTally
 from repro.chain.transactions import Mempool, Transaction, is_valid_transaction
@@ -31,12 +35,15 @@ __all__ = [
     "BlockBuffer",
     "BlockId",
     "BlockTree",
+    "ChainView",
     "GAOutput",
     "GENESIS_TIP",
     "Log",
     "Mempool",
     "PrefixTally",
+    "SharedChain",
     "Transaction",
+    "TreeLike",
     "genesis_block",
     "is_valid_transaction",
 ]

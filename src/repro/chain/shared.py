@@ -1,0 +1,270 @@
+"""One interned block tree per run, with per-receiver visibility views.
+
+Every receiver in a simulation used to own a private
+:class:`~repro.chain.tree.BlockTree`: n copies of the same blocks, the
+same depth tables, the same binary-lifting skip pointers.  Memory and
+tree maintenance scaled O(n × chain), which priced n ≥ 1000 runs — the
+regime where the paper's sleepy model is actually interesting — out of
+reach.
+
+This module interns the structure once:
+
+* :class:`SharedChain` owns the **canonical** tree of a run.  Blocks
+  are content-addressed (:class:`~repro.chain.block.Block` ids are
+  hashes), so each block is inserted — and its skip-pointer row built —
+  exactly once, no matter how many receivers learn it.  Every block
+  also gets a dense integer **intern index** in insertion order.
+* :class:`ChainView` is one receiver's lens: the canonical tree
+  filtered by a visible set over intern indices.  It exposes the full
+  :class:`~repro.chain.tree.BlockTree` query surface (``add``,
+  membership, ``depth``, ``longest``, ``is_prefix``, ``conflict``,
+  ``common_prefix``, ``payload_ids``, ``tips``, ``path``, ``log``, …)
+  with *exactly* the semantics of a private tree holding only the
+  blocks this receiver has accepted — so protocol state machines,
+  :class:`~repro.chain.tally.PrefixTally`,
+  :class:`~repro.chain.store.BlockBuffer`, and the finality gadget run
+  on a view unchanged, bit for bit.
+
+The visible set is watermark-compressed: under synchrony every
+receiver learns blocks in (nearly) intern order, so visibility is "all
+indices below a watermark" plus a small overflow set that drains as the
+contiguous prefix closes.  A caught-up view therefore costs O(1) steady
+memory instead of O(chain), and a freshly woken process catches up by
+advancing an integer.
+
+Views never share mutable state with each other — only with the
+canonical tree, which is append-only — so they are safe to drive from
+any single-threaded scheduler.  They do assume one shared address
+space: the asyncio deployment backend keeps per-process trees (real
+nodes cannot intern each other's memory), which is why
+:class:`~repro.sleepy.process.ProcessFactory` treats the shared chain
+as an optional capability rather than a requirement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.chain.block import GENESIS_TIP, Block, BlockId, genesis_block
+from repro.chain.log import Log
+from repro.chain.tree import BlockTree, MissingParentError, UnknownBlockError
+
+#: Cached id of the canonical genesis block (hashing it once, not per view).
+_GENESIS_ID = genesis_block().block_id
+
+__all__ = ["ChainView", "SharedChain", "TreeLike"]
+
+
+class SharedChain:
+    """The canonical interned tree of one run, plus its view factory.
+
+    The chain always contains the genesis block (index 0): every view
+    starts with exactly the genesis visible, mirroring how private
+    per-process trees were seeded.  All insertion paths are indexed —
+    including blocks added to :attr:`tree` directly (e.g. by the
+    simulator's omniscient trace buffer) — via a tree add-listener.
+    """
+
+    def __init__(self, blocks: Iterable[Block] = ()) -> None:
+        self._index: dict[BlockId, int] = {}
+        self._scratch: dict[str, dict] = {}
+        #: The canonical, append-only tree (also the run's omniscient
+        #: trace tree in the simulator).
+        self.tree = BlockTree()
+        self.tree.add_listener(self._on_add)
+        self.tree.add(genesis_block())
+        for block in blocks:
+            self.tree.add(block)
+
+    def _on_add(self, block: Block) -> None:
+        self._index[block.block_id] = len(self._index)
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def index(self, block_id: BlockId) -> int:
+        """The dense intern index of a canonical block (insertion order)."""
+        return self._index[block_id]
+
+    def view(self) -> ChainView:
+        """A fresh receiver view with only the genesis block visible."""
+        return ChainView(self)
+
+    def scratch(self, key: str) -> dict:
+        """A run-shared memo dict for ``key``, created on first request.
+
+        For structures that are *content-derived* from verified message
+        fields — identical no matter which receiver computes them (e.g.
+        the per-view max-VRF proposal order) — so n receivers can intern
+        one copy instead of each maintaining its own.  Callers must only
+        store data every receiver would reconstruct identically; nothing
+        receiver-local belongs here.
+        """
+        return self._scratch.setdefault(key, {})
+
+
+class ChainView:
+    """One receiver's visibility-filtered lens over a :class:`SharedChain`.
+
+    Drop-in for the :class:`~repro.chain.tree.BlockTree` query surface:
+    a block is "in the tree" iff this view has accepted it via
+    :meth:`add`, and every query answers exactly as a private tree
+    holding those blocks would.  (Ancestors of a visible block are
+    always visible — :meth:`add` requires the parent, like
+    ``BlockTree.add`` — so structural queries can delegate to the
+    canonical index once the arguments pass the visibility check.)
+    """
+
+    __slots__ = ("_chain", "_tree", "_floor", "_extra", "_count", "_leaves")
+
+    def __init__(self, chain: SharedChain) -> None:
+        self._chain = chain
+        self._tree = chain.tree
+        # Visible iff index < _floor or index in _extra.  Genesis is
+        # index 0, visible from birth in every view.
+        self._floor = 1
+        self._extra: set[int] = set()
+        self._count = 1
+        # Insertion-ordered visible-leaf set, mirroring BlockTree._leaves.
+        self._leaves: dict[BlockId, None] = {_GENESIS_ID: None}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, block: Block) -> BlockId:
+        """Accept ``block`` into this view (interning it if it is new).
+
+        Same contract as :meth:`repro.chain.tree.BlockTree.add`:
+        idempotent, parent must already be visible, returns the block
+        id.  The canonical insertion (and its index build) happens at
+        most once per run regardless of how many views accept the block.
+        """
+        block_id = block.block_id
+        if self._visible(block_id):
+            return block_id
+        if block.parent is not None and not self._visible(block.parent):
+            raise MissingParentError(f"parent {block.parent[:8]} of {block_id[:8]} unknown")
+        self._tree.add(block)  # no-op when another view interned it first
+        index = self._chain.index(block_id)
+        if index == self._floor:
+            self._floor += 1
+            extra = self._extra
+            while self._floor in extra:
+                extra.remove(self._floor)
+                self._floor += 1
+        elif index > self._floor:
+            self._extra.add(index)
+        self._count += 1
+        if block.parent is not None:
+            self._leaves.pop(block.parent, None)
+        self._leaves[block_id] = None
+        return block_id
+
+    def _visible(self, block_id: BlockId) -> bool:
+        index = self._chain._index.get(block_id)
+        if index is None:
+            return False
+        return index < self._floor or index in self._extra
+
+    # ------------------------------------------------------------------
+    # Queries (the BlockTree surface, visibility-filtered)
+    # ------------------------------------------------------------------
+    def __contains__(self, tip: BlockId | None) -> bool:
+        return tip is GENESIS_TIP or self._visible(tip)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def get(self, block_id: BlockId) -> Block:
+        """The (visible) block with id ``block_id``."""
+        if not self._visible(block_id):
+            raise UnknownBlockError(block_id)
+        return self._tree.get(block_id)
+
+    def depth(self, tip: BlockId | None) -> int:
+        """Length of the log identified by ``tip`` (0 for the empty log)."""
+        if tip not in self:
+            raise UnknownBlockError(tip)
+        return self._tree.depth(tip)
+
+    def parent(self, tip: BlockId) -> BlockId | None:
+        """Parent tip of a visible block (``None`` if it is a root)."""
+        return self.get(tip).parent
+
+    def children(self, tip: BlockId | None) -> tuple[BlockId, ...]:
+        """Visible direct children of ``tip`` (canonical intern order)."""
+        if tip not in self:
+            raise UnknownBlockError(tip)
+        return tuple(c for c in self._tree.children(tip) if self._visible(c))
+
+    def tips(self) -> tuple[BlockId, ...]:
+        """Visible leaves (no visible children), in acceptance order."""
+        return tuple(self._leaves)
+
+    def ancestor_at_depth(self, tip: BlockId | None, depth: int) -> BlockId | None:
+        """The prefix of ``tip``'s log with length ``depth`` (O(log d))."""
+        if tip not in self:
+            raise UnknownBlockError(tip)
+        return self._tree.ancestor_at_depth(tip, depth)
+
+    def is_prefix(self, a: BlockId | None, b: BlockId | None) -> bool:
+        """Whether log ``a`` is a prefix of log ``b`` (``Λ_a ⪯ Λ_b``)."""
+        if a not in self:
+            raise UnknownBlockError(a)
+        if b not in self:
+            raise UnknownBlockError(b)
+        return self._tree.is_prefix(a, b)
+
+    def compatible(self, a: BlockId | None, b: BlockId | None) -> bool:
+        """Whether one of the two logs is a prefix of the other."""
+        return self.is_prefix(a, b) or self.is_prefix(b, a)
+
+    def conflict(self, a: BlockId | None, b: BlockId | None) -> bool:
+        """Whether the two logs conflict (neither a prefix of the other)."""
+        return not self.compatible(a, b)
+
+    def common_prefix(self, tips: Iterable[BlockId | None]) -> BlockId | None:
+        """Tip of the longest common prefix of the given visible logs."""
+        checked = []
+        for tip in tips:
+            if tip not in self:
+                raise UnknownBlockError(tip)
+            checked.append(tip)
+        return self._tree.common_prefix(checked)
+
+    def path(self, tip: BlockId | None) -> tuple[BlockId, ...]:
+        """Block ids of the log identified by ``tip``, root first."""
+        if tip not in self:
+            raise UnknownBlockError(tip)
+        return self._tree.path(tip)
+
+    def log(self, tip: BlockId | None) -> Log:
+        """Materialise the log identified by ``tip``."""
+        if tip not in self:
+            raise UnknownBlockError(tip)
+        return self._tree.log(tip)
+
+    def payload_ids(self, tip: BlockId | None) -> frozenset[str]:
+        """Ids of every transaction in the log identified by ``tip``."""
+        if tip not in self:
+            raise UnknownBlockError(tip)
+        return self._tree.payload_ids(tip)
+
+    def longest(self, tips: Iterable[BlockId | None]) -> BlockId | None:
+        """The deepest visible tip among ``tips``; ties broken by tip id."""
+        best: BlockId | None = GENESIS_TIP
+        best_key = (-1, "")
+        found = False
+        for tip in tips:
+            key = (self.depth(tip), tip if tip is not None else "")
+            if key > best_key:
+                best, best_key = tip, key
+            found = True
+        if not found:
+            raise ValueError("longest() of no tips")
+        return best
+
+
+#: Anything exposing the :class:`~repro.chain.tree.BlockTree` query
+#: surface: the canonical tree itself or a per-receiver view.
+TreeLike = BlockTree | ChainView

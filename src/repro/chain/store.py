@@ -30,7 +30,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.chain.block import Block, BlockId
-from repro.chain.tree import BlockTree
+from repro.chain.shared import TreeLike
 
 #: Default per-source orphan quota — far above the block or two an
 #: honest proposer ever has awaiting a parent, far below what unbounded
@@ -57,7 +57,7 @@ class BlockBuffer:
 
     def __init__(
         self,
-        tree: BlockTree,
+        tree: TreeLike,
         max_orphans_per_source: int | None = DEFAULT_ORPHANS_PER_SOURCE,
     ) -> None:
         if max_orphans_per_source is not None and max_orphans_per_source <= 0:

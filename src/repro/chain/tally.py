@@ -38,7 +38,8 @@ from fractions import Fraction
 from types import MappingProxyType
 
 from repro.chain.block import GENESIS_TIP, BlockId
-from repro.chain.tree import BlockTree, UnknownBlockError
+from repro.chain.shared import TreeLike
+from repro.chain.tree import UnknownBlockError
 
 #: The paper's default failure ratio (1/3-resilient MMR).
 DEFAULT_BETA = Fraction(1, 3)
@@ -90,7 +91,7 @@ class PrefixTally:
     """
 
     def __init__(
-        self, tree: BlockTree, votes: Mapping[int, BlockId | None] | None = None
+        self, tree: TreeLike, votes: Mapping[int, BlockId | None] | None = None
     ) -> None:
         self._tree = tree
         self._votes: dict[int, BlockId | None] = {}
@@ -98,6 +99,14 @@ class PrefixTally:
         # nodes with a non-zero count are present (GENESIS_TIP carries
         # the total while any vote is tallied).
         self._counts: dict[BlockId | None, int] = {}
+        # The same counted nodes bucketed by count value (count -> node
+        # set, dict-as-set), kept in lock-step with _counts.  grade()
+        # scans *buckets*: one threshold comparison per distinct count
+        # instead of per node, and buckets below the grade-0 threshold
+        # are skipped without touching their nodes — for very wide vote
+        # windows (large η, scattered stale votes) most counted nodes
+        # are low-count and never visited at all.
+        self._by_count: dict[int, dict[BlockId | None, None]] = {}
         if votes:
             self.set_votes(votes)
 
@@ -134,7 +143,8 @@ class PrefixTally:
             raise UnknownBlockError(tip)
         self._votes[sender] = tip
         self._adjust_path(tip, GENESIS_TIP, +1)
-        self._counts[GENESIS_TIP] = self._counts.get(GENESIS_TIP, 0) + 1
+        total = self._counts.get(GENESIS_TIP, 0)
+        self._set_count(GENESIS_TIP, total, total + 1)
 
     def move_vote(self, sender: int, tip: BlockId | None) -> None:
         """Re-point ``sender``'s vote, adjusting counts only between the
@@ -157,11 +167,8 @@ class PrefixTally:
         if old is _MISSING:
             raise ValueError(f"sender {sender} has no tallied vote to remove")
         self._adjust_path(old, GENESIS_TIP, -1)
-        remaining = self._counts[GENESIS_TIP] - 1
-        if remaining:
-            self._counts[GENESIS_TIP] = remaining
-        else:
-            del self._counts[GENESIS_TIP]
+        total = self._counts[GENESIS_TIP]
+        self._set_count(GENESIS_TIP, total, total - 1)
 
     def set_votes(self, votes: Mapping[int, BlockId | None]) -> None:
         """Make the tallied set equal ``votes``, by incremental diff.
@@ -196,11 +203,27 @@ class PrefixTally:
         for tip, weight in direct.items():
             node = tip
             while node is not GENESIS_TIP:
-                counts[node] = counts.get(node, 0) + weight
+                old = counts.get(node, 0)
+                self._set_count(node, old, old + weight)
                 node = tree.parent(node)
         if votes:
-            counts[GENESIS_TIP] = counts.get(GENESIS_TIP, 0) + len(votes)
+            total = counts.get(GENESIS_TIP, 0)
+            self._set_count(GENESIS_TIP, total, total + len(votes))
             self._votes.update(votes)
+
+    def _set_count(self, node: BlockId | None, old: int, new: int) -> None:
+        """Move ``node`` from count ``old`` to ``new`` (count + bucket)."""
+        buckets = self._by_count
+        if new:
+            self._counts[node] = new
+            buckets.setdefault(new, {})[node] = None
+        else:
+            del self._counts[node]
+        if old:
+            bucket = buckets[old]
+            del bucket[node]
+            if not bucket:
+                del buckets[old]
 
     def _adjust_path(self, tip: BlockId | None, stop: BlockId | None, delta: int) -> None:
         """Apply ``delta`` to every node from ``tip`` up to, excluding, ``stop``."""
@@ -208,11 +231,8 @@ class PrefixTally:
         node = tip
         while node != stop:
             assert node is not None
-            updated = counts.get(node, 0) + delta
-            if updated:
-                counts[node] = updated
-            else:
-                del counts[node]
+            old = counts.get(node, 0)
+            self._set_count(node, old, old + delta)
             node = self._tree.parent(node)
 
     # ------------------------------------------------------------------
@@ -224,6 +244,12 @@ class PrefixTally:
         ``m`` defaults to the number of tallied votes (the GA's
         perceived participation); callers with a fixed denominator
         (e.g. a static quorum over all ``n`` processes) may override it.
+
+        The scan is batched by count value: ``count·den > threshold``
+        depends only on the count, so each bucket is classified with
+        one integer comparison (exact — ``count > ⌊t/den⌋`` iff
+        ``count·den > t`` for integer counts) and whole sub-threshold
+        buckets are skipped without visiting their nodes.
         """
         check_beta(beta)
         if m is None:
@@ -232,13 +258,15 @@ class PrefixTally:
             return GAOutput(grade1=(), grade0=(), m=0)
 
         num, den = beta.numerator, beta.denominator
+        threshold1 = ((den - num) * m) // den
+        threshold0 = (num * m) // den
         grade1: list[BlockId | None] = []
         grade0: list[BlockId | None] = []
-        for tip, count in self._counts.items():
-            if den * count > (den - num) * m:
-                grade1.append(tip)
-            elif den * count > num * m:
-                grade0.append(tip)
+        for count, nodes in self._by_count.items():
+            if count > threshold1:
+                grade1.extend(nodes)
+            elif count > threshold0:
+                grade0.extend(nodes)
 
         depth = self._tree.depth
 

@@ -56,8 +56,21 @@ class BlockTree:
         # inserted when added and evicted when it gains its first child,
         # so iteration order matches the old full-scan tips() exactly.
         self._leaves: dict[BlockId, None] = {}
+        # Add-listeners (e.g. SharedChain's intern indexer); a tuple so
+        # the empty common case costs one truth test per add.
+        self._listeners: tuple = ()
         for block in blocks:
             self.add(block)
+
+    def add_listener(self, listener) -> None:
+        """Call ``listener(block)`` after every successful :meth:`add`.
+
+        Listeners fire once per *new* block (idempotent re-adds do not
+        notify) and must not mutate the tree.  Used by
+        :class:`repro.chain.shared.SharedChain` to keep its intern index
+        in lock-step with every insertion path, including direct adds.
+        """
+        self._listeners = (*self._listeners, listener)
 
     # ------------------------------------------------------------------
     # Construction
@@ -94,6 +107,9 @@ class BlockTree:
         self._up[block.block_id] = up
         self._leaves.pop(block.parent, None)  # parent just stopped being a leaf
         self._leaves[block.block_id] = None
+        if self._listeners:
+            for listener in self._listeners:
+                listener(block)
         return block.block_id
 
     # ------------------------------------------------------------------

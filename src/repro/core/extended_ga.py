@@ -28,8 +28,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.chain.block import BlockId
+from repro.chain.shared import TreeLike
 from repro.chain.tally import PrefixTally
-from repro.chain.tree import BlockTree
 from repro.crypto.signatures import SecretKey
 from repro.protocols.graded_agreement import DEFAULT_BETA, GAOutput
 from repro.sleepy.messages import CachedVerifier, Message, VoteMessage, make_vote
@@ -56,7 +56,7 @@ class ExtendedGAInstance:
 
     def __init__(
         self,
-        tree: BlockTree,
+        tree: TreeLike,
         initial_votes: Iterable[InitialVote] = (),
         beta: Fraction = DEFAULT_BETA,
     ) -> None:
@@ -141,7 +141,7 @@ class ExtendedGAProcess(Process):
         pid: int,
         key: SecretKey,
         verifier: CachedVerifier,
-        tree: BlockTree,
+        tree: TreeLike,
         input_tip: BlockId | None,
         initial_votes: Iterable[InitialVote] = (),
         ga_round: int = 0,

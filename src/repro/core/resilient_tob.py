@@ -43,6 +43,7 @@ class ResilientTOBProcess(SleepyTOBProcess):
         mempool: Mempool | None = None,
         block_capacity: int = DEFAULT_BLOCK_CAPACITY,
         record_telemetry: bool = False,
+        chain=None,
     ) -> None:
         if eta < 0:
             raise ValueError("expiration period η must be non-negative")
@@ -54,6 +55,7 @@ class ResilientTOBProcess(SleepyTOBProcess):
             mempool=mempool,
             block_capacity=block_capacity,
             record_telemetry=record_telemetry,
+            chain=chain,
         )
         self.eta = eta
 
@@ -73,7 +75,9 @@ def resilient_factory(
 ) -> ProcessFactory:
     """A :data:`~repro.sleepy.process.ProcessFactory` for the modified protocol."""
 
-    def factory(pid: int, key: SecretKey, verifier: CachedVerifier) -> ResilientTOBProcess:
+    def factory(
+        pid: int, key: SecretKey, verifier: CachedVerifier, chain=None
+    ) -> ResilientTOBProcess:
         return ResilientTOBProcess(
             pid,
             key,
@@ -83,6 +87,8 @@ def resilient_factory(
             mempool=Mempool(),
             block_capacity=block_capacity,
             record_telemetry=record_telemetry,
+            chain=chain,
         )
 
+    factory.supports_shared_chain = True
     return factory

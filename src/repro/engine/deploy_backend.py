@@ -97,6 +97,10 @@ class DeploymentBackend(ExecutionBackend):
             seed=spec.seed,
             surges=conditions.surge_windows(clock.round_s),
         )
+        # Each node owns a private tree: the deployment models real
+        # processes, which cannot intern each other's memory, so the
+        # simulator's shared-chain views are deliberately not used here
+        # (the factory is called without ``chain=``).
         nodes = {
             pid: DeployedNode(
                 factory(pid, registry.secret_key(pid), verifier),

@@ -28,7 +28,15 @@ class SimulationBackend(ExecutionBackend):
     # Construction
     # ------------------------------------------------------------------
     def build(self, spec: RunSpec) -> Simulation:
-        """Construct the :class:`Simulation` described by ``spec``."""
+        """Construct the :class:`Simulation` described by ``spec``.
+
+        The simulation interns one :class:`~repro.chain.shared.
+        SharedChain` per run and hands it to chain-capable process
+        factories, so every receiver holds a visibility view over one
+        canonical tree (the n≥1000 lane) instead of a private copy;
+        pass ``share_chain=False`` to :class:`Simulation` directly for
+        the per-process-tree baseline.
+        """
         factory = self._protocols.factory(
             spec.protocol,
             eta=spec.eta,

@@ -32,8 +32,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.chain.block import GENESIS_TIP, BlockId
+from repro.chain.shared import TreeLike
 from repro.chain.tally import PrefixTally
-from repro.chain.tree import BlockTree
 from repro.core.expiration import LatestVoteStore
 
 #: Classic BFT finality quorum: strictly more than 2/3 of all processes.
@@ -63,7 +63,7 @@ class FinalityGadget:
     def __init__(
         self,
         n: int,
-        tree: BlockTree,
+        tree: TreeLike,
         quorum: Fraction = DEFAULT_FINALITY_QUORUM,
     ) -> None:
         if n <= 0:

@@ -108,13 +108,16 @@ def ebb_and_flow_factory(
 
     beta = beta if beta is not None else DEFAULT_BETA
 
-    def factory(pid, key, verifier):
+    def factory(pid, key, verifier, chain=None):
         if protocol == "mmr":
-            inner = MMRProcess(pid, key, verifier, beta=beta, mempool=Mempool())
+            inner = MMRProcess(pid, key, verifier, beta=beta, mempool=Mempool(), chain=chain)
         elif protocol == "resilient":
-            inner = ResilientTOBProcess(pid, key, verifier, eta=eta, beta=beta, mempool=Mempool())
+            inner = ResilientTOBProcess(
+                pid, key, verifier, eta=eta, beta=beta, mempool=Mempool(), chain=chain
+            )
         else:
             raise ValueError(f"unknown protocol {protocol!r}")
         return EbbAndFlowProcess(inner, key, verifier, n=n, quorum=quorum)
 
+    factory.supports_shared_chain = True
     return factory

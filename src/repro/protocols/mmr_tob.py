@@ -35,7 +35,7 @@ def mmr_factory(
 ) -> ProcessFactory:
     """A :data:`~repro.sleepy.process.ProcessFactory` for MMR processes."""
 
-    def factory(pid: int, key, verifier: CachedVerifier) -> MMRProcess:
+    def factory(pid: int, key, verifier: CachedVerifier, chain=None) -> MMRProcess:
         return MMRProcess(
             pid,
             key,
@@ -44,6 +44,8 @@ def mmr_factory(
             mempool=Mempool(),
             block_capacity=block_capacity,
             record_telemetry=record_telemetry,
+            chain=chain,
         )
 
+    factory.supports_shared_chain = True
     return factory

@@ -58,11 +58,13 @@ Conventions where the paper leaves freedom (all documented choices):
 
 from __future__ import annotations
 
+from bisect import insort
 from collections.abc import Sequence
 from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.chain.block import GENESIS_TIP, Block, BlockId, genesis_block
+from repro.chain.shared import ChainView, SharedChain
 from repro.chain.store import BlockBuffer
 from repro.chain.tally import PrefixTally
 from repro.chain.transactions import Mempool
@@ -114,6 +116,7 @@ class SleepyTOBProcess(Process):
         mempool: Mempool | None = None,
         block_capacity: int = DEFAULT_BLOCK_CAPACITY,
         record_telemetry: bool = False,
+        chain: SharedChain | None = None,
     ) -> None:
         super().__init__(pid)
         self._key = key
@@ -125,7 +128,14 @@ class SleepyTOBProcess(Process):
         #: Per-GA quorum-race telemetry (populated when enabled).
         self.telemetry: list[TallySample] = []
 
-        self.tree = BlockTree([genesis_block()])
+        # With a run-shared chain the process holds a visibility *view*
+        # over the one interned tree (identical query semantics, O(1)
+        # steady memory when caught up); without one — the deployment
+        # substrate, where processes cannot share memory — it owns a
+        # private tree exactly as before.
+        self.tree: BlockTree | ChainView = (
+            chain.view() if chain is not None else BlockTree([genesis_block()])
+        )
         self._buffer = BlockBuffer(self.tree)
         self._votes = LatestVoteStore()
         # The long-lived prefix-count tally every GA instance grades
@@ -135,6 +145,20 @@ class SleepyTOBProcess(Process):
         self._tally = PrefixTally(self.tree)
         # view -> sender -> propose message (or _EQUIVOCATED marker).
         self._proposals: dict[int, dict[int, ProposeMessage | None]] = {}
+        # view -> (seen senders, ascending (VRF value, sender)):
+        # _select_proposal takes the max-VRF admissible entry by
+        # scanning from the top instead of a full per-call scan.  The
+        # order is content-derived (a proposer's VRF value for a view is
+        # deterministic and verified), so with a run-shared chain the
+        # sorted list is interned once per run rather than once per
+        # receiver; selection skips senders this receiver hasn't stored.
+        self._proposal_index: dict[int, tuple[set[int], list[tuple[int, int]]]] = (
+            chain.scratch("proposal_order") if chain is not None else {}
+        )
+        self._index_is_shared = chain is not None
+        # All views below this floor have been pruned (or were never
+        # consultable); _prune_proposals advances it incrementally.
+        self._proposal_floor = 0
 
         #: Tip of the longest log this process has delivered.
         self.delivered_tip: BlockId | None = GENESIS_TIP
@@ -236,11 +260,20 @@ class SleepyTOBProcess(Process):
     def _prune_proposals(self, round_number: int) -> None:
         # A view-v proposal is only ever consulted at round 2v − 1; keep a
         # couple of views of slack for processes acting on a backlog, and
-        # drop the rest so long runs stay memory-bounded.
+        # drop the rest so long runs stay memory-bounded.  The floor
+        # tracks the lowest possibly-live view, so each delivery pays
+        # for the views that actually expired since the last one (O(1)
+        # amortised) instead of rebuilding a list over every live view.
         current_view = (round_number + 1) // 2
         horizon = current_view - 2
-        for view in [v for v in self._proposals if v < horizon]:
-            del self._proposals[view]
+        while self._proposal_floor < horizon:
+            self._proposals.pop(self._proposal_floor, None)
+            if not self._index_is_shared:
+                # A shared order is pruned by nobody: other receivers may
+                # lag, and its footprint (one tuple per distinct proposal)
+                # is the same order as the interned tree itself.
+                self._proposal_index.pop(self._proposal_floor, None)
+            self._proposal_floor += 1
 
     def _record_proposal(self, message: ProposeMessage, round_number: int) -> None:
         assert message.block is not None  # verified
@@ -250,6 +283,11 @@ class SleepyTOBProcess(Process):
         # unboundedly (their view keys sit above the pruning horizon).
         if message.view > round_number // 2 + 1:
             return
+        if message.view < self._proposal_floor:
+            # Below the prune floor: the old full-scan prune deleted such
+            # stragglers in the same delivery, before anything could
+            # consult them — not storing them at all is equivalent.
+            return
         # Keyed by the verified sender: a Byzantine proposer flooding
         # never-attachable blocks exhausts its own orphan quota, never
         # another sender's honestly out-of-order block.
@@ -258,6 +296,14 @@ class SleepyTOBProcess(Process):
         existing = per_view.get(message.sender, _MISSING)
         if existing is _MISSING:
             per_view[message.sender] = message
+            assert message.vrf is not None  # verified
+            entry = self._proposal_index.get(message.view)
+            if entry is None:
+                entry = self._proposal_index.setdefault(message.view, (set(), []))
+            seen, order = entry
+            if message.sender not in seen:
+                seen.add(message.sender)
+                insort(order, (message.vrf.value_num, message.sender))
         elif existing is not None and existing.tip != message.tip:
             # Equivocating proposer: all its proposals for this view are void.
             per_view[message.sender] = None
@@ -296,20 +342,27 @@ class SleepyTOBProcess(Process):
         )
 
     def _select_proposal(self, view: int, longest_any: BlockId | None) -> BlockId | None:
+        # Walk the view's (VRF value, sender) index from the top: the
+        # first admissible proposal *is* the max-VRF admissible one, so
+        # the winner usually costs one probe instead of a scan over
+        # every stored proposal.
         best: ProposeMessage | None = None
-        for message in self._proposals.get(view, {}).values():
-            if message is None:  # equivocator
-                continue
-            if message.tip not in self.tree:  # orphaned block: cannot interpret
-                continue
-            if self.tree.conflict(message.tip, longest_any):
-                continue
-            assert message.vrf is not None
-            if best is None or (message.vrf.value_num, message.sender) > (
-                best.vrf.value_num,  # type: ignore[union-attr]
-                best.sender,
-            ):
+        per_view = self._proposals.get(view)
+        if per_view:
+            stored = per_view.get
+            for _value, sender in reversed(self._proposal_index[view][1]):
+                # A shared index covers every receiver's proposals; one
+                # this receiver never stored (get -> None, like an
+                # equivocator's) is simply skipped.
+                message = stored(sender)
+                if message is None:  # equivocator or not received here
+                    continue
+                if message.tip not in self.tree:  # orphaned block: cannot interpret
+                    continue
+                if self.tree.conflict(message.tip, longest_any):
+                    continue
                 best = message
+                break
         if best is None:
             return longest_any
         # Never vote below L_{v−1}: a stale (prefix) proposal with a

@@ -45,4 +45,12 @@ class Process(ABC):
 #: substrates this is the full ingest pipeline
 #: (:class:`repro.engine.ingest.IngestPipeline`), whose shared
 #: ``batch`` method processes dispatch their deliveries through.
+#:
+#: Factories that can build processes on a run-shared
+#: :class:`~repro.chain.shared.SharedChain` (one interned tree, a
+#: visibility view per receiver) advertise it by setting
+#: ``factory.supports_shared_chain = True`` and accepting an optional
+#: ``chain=`` keyword; the round simulator then passes its chain in.
+#: Substrates without shared memory (the asyncio deployment) simply
+#: never pass one, and the factory builds private trees as before.
 ProcessFactory = Callable[[int, "SecretKey", "CachedVerifier"], Process]

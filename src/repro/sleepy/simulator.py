@@ -26,9 +26,8 @@ runner.
 
 from __future__ import annotations
 
-from repro.chain.block import genesis_block
+from repro.chain.shared import SharedChain
 from repro.chain.store import BlockBuffer
-from repro.chain.tree import BlockTree
 from repro.crypto.signatures import KeyRegistry
 from repro.engine.backend import (
     CorruptionTracker,
@@ -60,6 +59,7 @@ class Simulation:
         network: NetworkModel,
         process_factory: ProcessFactory,
         meta: dict | None = None,
+        share_chain: bool = True,
     ) -> None:
         if schedule.n != registry.n:
             raise ValueError("schedule and registry disagree on the number of processes")
@@ -70,16 +70,30 @@ class Simulation:
         #: The run-shared ingest pipeline every process verifies through.
         self.pipeline = IngestPipeline(registry)
 
-        # Omniscient tree for analysis: all blocks anyone ever creates.
-        self._tree = BlockTree([genesis_block()])
+        #: The run's interned chain.  Its canonical tree is also the
+        #: omniscient analysis tree (every block anyone creates lands in
+        #: it exactly once), and chain-sharing process factories receive
+        #: it so each receiver holds a visibility view instead of a
+        #: private copy — one tree per run, not n + 1.
+        self.chain = SharedChain()
+        self._tree = self.chain.tree
         # The omniscient trace tree must be lossless (analysis depends
         # on resolving every decided tip), so its buffer never evicts.
         self._tree_buffer = BlockBuffer(self._tree, max_orphans_per_source=None)
         self._ctx = AdversaryContext(registry, self._tree)
         self._corruption = CorruptionTracker(adversary, self._ctx)
 
+        # Factories advertise view support via ``supports_shared_chain``
+        # (unmarked factories — e.g. bespoke test processes — keep
+        # building private trees); ``share_chain=False`` forces the
+        # per-process-tree baseline for equivalence oracles and benches.
+        use_chain = share_chain and getattr(process_factory, "supports_shared_chain", False)
         self.processes: dict[int, Process] = {
-            pid: process_factory(pid, registry.secret_key(pid), self.pipeline)
+            pid: (
+                process_factory(pid, registry.secret_key(pid), self.pipeline, chain=self.chain)
+                if use_chain
+                else process_factory(pid, registry.secret_key(pid), self.pipeline)
+            )
             for pid in range(registry.n)
         }
 

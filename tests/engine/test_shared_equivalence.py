@@ -1,0 +1,133 @@
+"""Shared-chain runs vs per-process-tree runs: byte-identical traces.
+
+The shared chain (:mod:`repro.chain.shared`) is a memory optimisation,
+not a semantic change: a full simulation where every receiver holds a
+visibility view over one interned tree must reproduce the exact
+execution of the same seeded run with ``share_chain=False`` (a private
+:class:`~repro.chain.tree.BlockTree` per process, the historical
+layout).  The scenarios stress the paths where sharing could plausibly
+leak state between receivers: sleep/wake churn (stale views catching
+up), equivocation (conflicting sibling blocks), and asynchronous
+delivery (orphan buffering and eviction in front of the view).
+"""
+
+import pytest
+
+from repro.crypto.signatures import KeyRegistry
+from repro.engine.registry import PROTOCOLS
+from repro.engine.sim_backend import SimulationBackend
+from repro.finality.process import ebb_and_flow_factory
+from repro.harness import TOBRunConfig
+from repro.sleepy.adversary import (
+    EquivocatingVoteAdversary,
+    RandomAdversary,
+    SplitVoteAttack,
+)
+from repro.sleepy.network import WindowedAsynchrony
+from repro.sleepy.schedule import RandomChurnSchedule, SpikeSchedule
+from repro.sleepy.simulator import Simulation
+
+from tests.engine._golden_gen import trace_digest
+
+
+def _scenario(name: str) -> TOBRunConfig:
+    """A fresh config per call — adversaries and schedules are stateful."""
+    if name == "churn-equivocation":
+        return TOBRunConfig(
+            n=10,
+            rounds=22,
+            protocol="resilient",
+            eta=3,
+            adversary=EquivocatingVoteAdversary([9]),
+            schedule=RandomChurnSchedule(10, 0.15, seed=11, min_awake=6),
+            seed=11,
+        )
+    if name == "async-split-vote-mmr":
+        return TOBRunConfig(
+            n=10,
+            rounds=24,
+            protocol="mmr",
+            adversary=SplitVoteAttack([8, 9], target_round=10),
+            network=WindowedAsynchrony(ra=8, pi=2),
+            seed=12,
+        )
+    if name == "spike-random-adversary":
+        return TOBRunConfig(
+            n=12,
+            rounds=26,
+            protocol="resilient",
+            eta=2,
+            adversary=RandomAdversary([10, 11], seed=13),
+            schedule=SpikeSchedule(12, 0.5, start=9, duration=5),
+            network=WindowedAsynchrony(ra=12, pi=3),
+            seed=13,
+        )
+    if name == "ebb-and-flow-churn":
+        return TOBRunConfig(
+            n=9,
+            rounds=20,
+            protocol="ebb-and-flow",
+            eta=2,
+            schedule=RandomChurnSchedule(9, 0.2, seed=14, min_awake=6),
+            seed=14,
+        )
+    raise KeyError(name)
+
+
+SCENARIOS = (
+    "churn-equivocation",
+    "async-split-vote-mmr",
+    "spike-random-adversary",
+    "ebb-and-flow-churn",
+)
+
+
+def _run(name: str, share_chain: bool) -> Simulation:
+    config = _scenario(name)
+    if config.protocol == "ebb-and-flow":
+        factory = ebb_and_flow_factory("resilient", eta=config.eta, n=config.n)
+    else:
+        factory = PROTOCOLS.factory(
+            config.protocol,
+            eta=config.eta,
+            beta=config.beta,
+            record_telemetry=config.record_telemetry,
+        )
+    simulation = Simulation(
+        KeyRegistry(config.n, run_seed=config.seed),
+        config.resolved_schedule(),
+        config.resolved_adversary(),
+        config.resolved_network(),
+        factory,
+        share_chain=share_chain,
+    )
+    SimulationBackend.drive(simulation, config)
+    return simulation
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_shared_run_replays_private_tree_run_bit_for_bit(name):
+    shared = _run(name, share_chain=True)
+    private = _run(name, share_chain=False)
+    assert trace_digest(shared.trace) == trace_digest(private.trace)
+    # Beyond the digest: every receiver's local tree answers the same.
+    def local_tree(process):
+        return process.tree if hasattr(process, "tree") else process.inner.tree
+
+    for pid, process in shared.processes.items():
+        mine = local_tree(process)
+        twin = local_tree(private.processes[pid])
+        assert len(mine) == len(twin)
+        assert mine.tips() == twin.tips()
+        tips = list(mine.tips())
+        assert mine.longest(tips) == twin.longest(tips)
+
+
+def test_shared_run_actually_interns_one_tree():
+    """The capability wiring: views over one chain, not private trees."""
+    shared = _run("churn-equivocation", share_chain=True)
+    for process in shared.processes.values():
+        assert process.tree._tree is shared.chain.tree
+    private = _run("churn-equivocation", share_chain=False)
+    trees = {id(process.tree) for process in private.processes.values()}
+    assert len(trees) == private.registry.n

@@ -19,6 +19,7 @@ def write_bench(
     medians: dict[str, float],
     config: dict | None = None,
     p95s: dict[str, float] | None = None,
+    mems: dict[str, int] | None = None,
 ) -> None:
     payload = {
         "bench": bench,
@@ -28,6 +29,11 @@ def write_bench(
                 "p95_s": (p95s or {}).get(test, median),
                 "samples_s": [median],
                 "config": config or {},
+                **(
+                    {"peak_mem_bytes": mems[test]}
+                    if mems is not None and test in mems
+                    else {}
+                ),
             }
             for test, median in medians.items()
         },
@@ -108,10 +114,17 @@ def test_malformed_json_is_ignored(dirs):
 
 def test_load_medians_shape(dirs):
     baseline, _ = dirs
-    write_bench(baseline, "sweep", {"a": 0.1, "b": 0.2}, config={"n": 6}, p95s={"a": 0.15})
+    write_bench(
+        baseline,
+        "sweep",
+        {"a": 0.1, "b": 0.2},
+        config={"n": 6},
+        p95s={"a": 0.15},
+        mems={"a": 1024},
+    )
     assert check_trend.load_medians(baseline) == {
-        ("sweep", "a"): (0.1, 0.15, {"n": 6}),
-        ("sweep", "b"): (0.2, 0.2, {"n": 6}),
+        ("sweep", "a"): (0.1, 0.15, 1024.0, {"n": 6}),
+        ("sweep", "b"): (0.2, 0.2, None, {"n": 6}),
     }
 
 
@@ -125,7 +138,7 @@ def test_p95_regression_warns_without_failing(dirs, capsys):
     assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
     out = capsys.readouterr().out
     assert "p95 WARN" in out and "sweep::t" in out
-    assert "OK" in out and "1 p95 warning" in out
+    assert "OK" in out and "1 p95/mem warning" in out
 
 
 def test_p95_within_factor_stays_silent(dirs, capsys):
@@ -172,3 +185,47 @@ def test_median_regression_still_fails_with_p95_warning(dirs, capsys):
     assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 1
     out = capsys.readouterr().out
     assert "REGRESSION" in out and "p95 WARN" in out and "FAIL" in out
+
+
+# ----------------------------------------------------------------------
+# peak-memory tracking: warns, never gates
+# ----------------------------------------------------------------------
+
+def test_mem_growth_warns_without_failing(dirs, capsys):
+    baseline, fresh = dirs
+    write_bench(baseline, "sweep", {"t": 0.10}, mems={"t": 10 << 20})
+    write_bench(fresh, "sweep", {"t": 0.11}, mems={"t": 30 << 20})  # 3x peak
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    out = capsys.readouterr().out
+    assert "mem WARN" in out and "sweep::t" in out
+    assert "OK" in out and "10.0MiB -> 30.0MiB" in out
+
+
+def test_mem_within_factor_stays_silent(dirs, capsys):
+    baseline, fresh = dirs
+    write_bench(baseline, "sweep", {"t": 0.10}, mems={"t": 10 << 20})
+    write_bench(fresh, "sweep", {"t": 0.11}, mems={"t": 18 << 20})  # 1.8x < 2x
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    assert "mem WARN" not in capsys.readouterr().out
+
+
+def test_mem_warning_respects_byte_floor_and_missing_entries(dirs, capsys):
+    baseline, fresh = dirs
+    # Both peaks below the 1 MiB floor: interpreter noise, not a leak.
+    write_bench(baseline, "micro", {"t": 0.10}, mems={"t": 10_000})
+    write_bench(fresh, "micro", {"t": 0.10}, mems={"t": 500_000})
+    # A baseline written before memory tracking never warns.
+    write_bench(baseline, "legacy", {"t": 0.1})
+    write_bench(fresh, "legacy", {"t": 0.1}, mems={"t": 1 << 30})
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    assert "mem WARN" not in capsys.readouterr().out
+
+
+def test_mem_warning_ignores_the_median_noise_floor(dirs, capsys):
+    """A sub-millisecond bench that balloons its allocations still warns."""
+    baseline, fresh = dirs
+    write_bench(baseline, "tiny", {"t": 0.0004}, mems={"t": 2 << 20})
+    write_bench(fresh, "tiny", {"t": 0.0004}, mems={"t": 64 << 20})
+    assert check_trend.main(["--baseline", str(baseline), "--fresh", str(fresh)]) == 0
+    out = capsys.readouterr().out
+    assert "mem WARN" in out and "tiny" in out
