@@ -57,21 +57,44 @@ class Mempool:
     that are not in the supplied exclusion set, preserving arrival order
     and leaving the pool unchanged — transactions are only removed once
     observed on-chain via :meth:`mark_included`.
+
+    ``capacity`` bounds occupancy for long-running services: once full,
+    new *transactions* are shed (and counted in ``shed_count``) rather
+    than queued without bound.  Shedding user load is the mempool's
+    explicit backpressure contract — transactions are client-retryable,
+    unlike protocol messages, which are never shed anywhere in the
+    stack.  The default (``capacity=None``) keeps the historical
+    unbounded behaviour for bounded experiments.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("mempool capacity must be positive")
+        self.capacity = capacity
         self._pending: dict[str, Transaction] = {}
+        #: Valid, novel transactions rejected because the pool was full.
+        self.shed_count = 0
+        #: Transactions accepted into the pool over its lifetime.
+        self.admitted_count = 0
 
     def __len__(self) -> int:
         return len(self._pending)
 
     def add(self, tx: Transaction) -> bool:
-        """Add ``tx`` if valid and unseen.  Returns True if added."""
+        """Add ``tx`` if valid, unseen, and within capacity.
+
+        Returns True if added; a valid-but-shed transaction bumps
+        ``shed_count`` so overload is always audited, never silent.
+        """
         if not is_valid_transaction(tx):
             return False
         if tx.tx_id in self._pending:
             return False
+        if self.capacity is not None and len(self._pending) >= self.capacity:
+            self.shed_count += 1
+            return False
         self._pending[tx.tx_id] = tx
+        self.admitted_count += 1
         return True
 
     def take(self, limit: int, exclude: frozenset[str] = frozenset()) -> tuple[Transaction, ...]:

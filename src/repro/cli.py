@@ -9,6 +9,11 @@ library is explorable without writing a script:
 * ``outage``   — a correlated participation outage replay;
 * ``tune-eta`` — the operator's η menu for a given per-round churn;
 * ``deploy``   — a real-time asyncio gossip deployment;
+* ``soak``     — the deployment run as a *service*: a wall-clock
+  budget instead of a round count, submission-rate client traffic with
+  bounded mempools, optional churn, multi-process sharding via
+  ``--processes``, and a live HTTP metrics endpoint that the command
+  scrapes itself before exiting;
 * ``sweep``    — a named experiment grid, streamed across a process
   pool (the paper's E3/F1/A1/A2 grids plus the D0 deployment smoke
   from :mod:`repro.analysis.batch`), checkpointable to a journal with
@@ -96,6 +101,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=14)
     p.add_argument("--delta-ms", type=float, default=20.0)
     p.add_argument("--eta", type=int, default=3)
+
+    p = sub.add_parser("soak", help="run the deployment as a service for a wall-clock budget")
+    p.add_argument("--duration", type=float, default=30.0, help="wall-clock budget in seconds")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes to shard the nodes across (1 = in-process)",
+    )
+    p.add_argument("--delta-ms", type=float, default=50.0)
+    p.add_argument("--protocol", choices=sorted(PROTOCOLS.names()), default="resilient")
+    p.add_argument("--eta", type=int, default=3)
+    p.add_argument(
+        "--rate", type=int, default=16, help="client transaction submissions per round"
+    )
+    p.add_argument(
+        "--mempool-capacity",
+        type=int,
+        default=4096,
+        help="per-node mempool bound (overflow transactions are shed and counted)",
+    )
+    p.add_argument(
+        "--churn",
+        type=float,
+        default=0.1,
+        help="target churn γ per η-round window (0 disables the sleep schedule)",
+    )
+    p.add_argument(
+        "--metrics-port", type=int, default=0, help="metrics endpoint port (0 = ephemeral)"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--dump", metavar="PATH", default=None, help="save summary + scraped metrics as JSON"
+    )
 
     p = sub.add_parser("sweep", help="run a named experiment grid as a streamed parallel sweep")
     p.add_argument("grid", choices=SWEEP_GRID_NAMES, help="which experiment grid to run")
@@ -351,6 +391,106 @@ def _cmd_deploy(args) -> int:
         )
     )
     return 0
+
+
+def _cmd_soak(args) -> int:
+    import asyncio
+    import json
+    import urllib.request
+
+    from repro.engine.deploy_backend import DeploymentBackend
+    from repro.engine.spec import RunSpec
+    from repro.runtime.metrics import MetricsHub, MetricsServer, SourcedMetrics
+    from repro.workloads import SubmissionRateWorkload, churn_walk
+
+    delta_s = args.delta_ms / 1000.0
+    round_s = 3 * delta_s
+    rounds = max(2, int(args.duration / round_s))
+    schedule = (
+        churn_walk(args.n, args.eta, args.churn, seed=args.seed) if args.churn > 0 else None
+    )
+    spec = RunSpec(
+        n=args.n,
+        rounds=rounds,
+        protocol=args.protocol,
+        eta=args.eta,
+        seed=args.seed,
+        schedule=schedule,
+        transactions=SubmissionRateWorkload(args.rate, seed=args.seed),
+    )
+    backend = DeploymentBackend(
+        delta_s=delta_s,
+        processes=args.processes,
+        mempool_capacity=args.mempool_capacity,
+        gossip_seen_horizon=args.eta + 8,
+    )
+    collector = SourcedMetrics()
+    backend.attach_metrics(collector)
+
+    async def run_service():
+        server = MetricsServer(MetricsHub(), port=args.metrics_port, provider=collector.merged)
+        await server.start()
+        print(
+            f"soak: n={args.n} processes={args.processes} rounds={rounds} "
+            f"(~{rounds * round_s:.0f}s at delta={args.delta_ms}ms); metrics at {server.url}"
+        )
+        try:
+            result = await backend.execute_async(spec)
+
+            def scrape():
+                with urllib.request.urlopen(server.url, timeout=10) as response:
+                    return json.loads(response.read().decode("utf-8"))
+
+            # Scraping over real HTTP (not reading the hub directly)
+            # proves the endpoint a production scraper would hit works.
+            scraped = await asyncio.get_running_loop().run_in_executor(None, scrape)
+        finally:
+            await server.stop()
+        return result, scraped
+
+    result, scraped = asyncio.run(run_service())
+    trace = result.trace
+    safety = check_safety(trace)
+    extras = result.extras
+    if "mempool" in extras:
+        shed_transactions = extras["mempool"]["shed"]
+        admitted = extras["mempool"]["admitted"]
+    else:
+        pools = [node.process.mempool for node in extras["nodes"].values()]
+        shed_transactions = sum(getattr(pool, "shed_count", 0) for pool in pools)
+        admitted = sum(getattr(pool, "admitted_count", 0) for pool in pools)
+    transport = extras.get("transport")
+    # Protocol messages are never shed by design; the only way one could
+    # vanish in the socket substrate is a routing bug, which the
+    # transports audit as ``misrouted``.
+    shed_protocol = transport["misrouted"] if isinstance(transport, dict) else 0
+    summary = {
+        "n": args.n,
+        "processes": args.processes,
+        "rounds": rounds,
+        "protocol": args.protocol,
+        "eta": args.eta,
+        "wall_seconds": result.wall_seconds,
+        "decisions": len(trace.decisions),
+        "safe": safety.ok,
+        "messages_sent": result.messages_sent,
+        "shed_transactions": shed_transactions,
+        "admitted_transactions": admitted,
+        "shed_protocol_messages": shed_protocol,
+        "gossip": _json_safe(extras.get("gossip", {})),
+    }
+    print(
+        format_table(
+            ["metric", "value"],
+            [[key, value] for key, value in summary.items() if key != "gossip"],
+            title="Soak summary",
+        )
+    )
+    if args.dump:
+        with open(args.dump, "w") as fh:
+            json.dump({"summary": summary, "metrics": _json_safe(scraped)}, fh, indent=2)
+        print(f"\nsoak dump saved to {args.dump}")
+    return 0 if (safety.ok and trace.decisions and shed_protocol == 0) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -20,15 +20,32 @@ Substrate differences (inherent, not incidental):
   not depend on execution state — none of the model's adversaries do);
   the adversary's ``send`` power runs live, in round, against the
   omniscient block tree exactly as in the simulator.
+
+Setting ``processes > 1`` shards the deployment across real worker
+processes (:mod:`repro.runtime.worker`) joined by a socket mesh
+(:mod:`repro.net.socket_transport`): the backend becomes a
+*coordinator* that spawns workers, sequences the
+ready → dial → start → result → shutdown control protocol, anchors all
+round clocks at one shared wall-clock instant, and merges the shards'
+block trees, decisions, and telemetry into the same
+:class:`~repro.sleepy.trace.Trace` the single-process path produces.
+``processes=1`` (the default) keeps the historical in-process path
+byte for byte.
 """
 
 from __future__ import annotations
 
 import asyncio
-import random
+import multiprocessing
+import os
+import shutil
+import socket
+import tempfile
+import time
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-from repro.chain.block import genesis_block
+from repro.chain.block import Block, genesis_block
 from repro.chain.store import BlockBuffer
 from repro.chain.tree import BlockTree
 from repro.crypto.signatures import KeyRegistry
@@ -46,12 +63,35 @@ from repro.engine.ingest import IngestPipeline
 from repro.engine.registry import PROTOCOLS, ProtocolRegistry
 from repro.engine.spec import RunSpec
 from repro.net.gossip import GossipNetwork, regular_topology
+from repro.net.socket_transport import (
+    encode_frame,
+    read_frame,
+    serve_stream,
+    supports_unix_sockets,
+)
 from repro.net.transport import SimTransport
 from repro.runtime.clock import RoundClock
+from repro.runtime.metrics import MetricsHub, SourcedMetrics
 from repro.runtime.node import DeployedNode
+from repro.runtime.worker import (
+    WorkerConfig,
+    clock_skew_offsets,
+    drive_node,
+    shard_pids,
+    worker_main,
+)
 from repro.sleepy.adversary import AdversaryContext
 from repro.sleepy.messages import Message, ProposeMessage
-from repro.sleepy.trace import RoundRecord, Trace
+from repro.sleepy.trace import DecisionEvent, RoundRecord, Trace
+
+
+def _free_tcp_address() -> tuple[str, int]:
+    """A loopback TCP address that was free a moment ago (UDS fallback)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    return ("127.0.0.1", address[1])
 
 
 @dataclass
@@ -66,6 +106,16 @@ class DeploymentBackend(ExecutionBackend):
     #: shifted by a seeded offset in ``[-clock_skew_s, +clock_skew_s]``).
     clock_skew_s: float = 0.0
     receive_fraction: float = 0.9
+    #: Worker processes to shard the nodes across.  ``1`` = the
+    #: historical in-process path; ``> 1`` = socket-mesh workers.
+    processes: int = 1
+    #: Per-node mempool bound (transactions shed-and-counted past it);
+    #: ``None`` = unbounded, the historical behaviour.
+    mempool_capacity: int | None = None
+    #: Gossip dedup-entry retention, in rounds behind the live round
+    #: (see :class:`~repro.net.gossip.GossipNode`); ``None`` = retain
+    #: forever, the historical behaviour for bounded experiments.
+    gossip_seen_horizon: int | None = None
     protocols: ProtocolRegistry = field(repr=False, default_factory=lambda: PROTOCOLS)
 
     name = "deployment"
@@ -73,12 +123,35 @@ class DeploymentBackend(ExecutionBackend):
     #: asyncio deployment at a time), never across a process pool.
     poolable = False
 
+    def attach_metrics(self, collector: SourcedMetrics) -> None:
+        """Attach a live telemetry collector for the next run(s).
+
+        Workers (or the single process) push cumulative metric
+        snapshots into it while the run is in flight, so a
+        :class:`~repro.runtime.metrics.MetricsServer` scraping
+        ``collector.merged`` serves live state.  Stored outside the
+        dataclass fields on purpose: telemetry wiring must not enter
+        ``identity()`` / sweep-journal digests.
+        """
+        self._metrics_collector = collector
+
     def execute(self, spec: RunSpec) -> EngineResult:
         """Synchronous entry point (creates its own event loop)."""
         return asyncio.run(self.execute_async(spec))
 
     async def execute_async(self, spec: RunSpec) -> EngineResult:
         """Run one deployment inside a running event loop."""
+        if self.processes < 1:
+            raise ValueError("processes must be >= 1")
+        if self.processes > 1:
+            return await self._execute_multiprocess(spec)
+        return await self._execute_single(spec)
+
+    # ------------------------------------------------------------------
+    # Single-process path (the historical substrate, unchanged semantics)
+    # ------------------------------------------------------------------
+    async def _execute_single(self, spec: RunSpec) -> EngineResult:
+        """One event loop hosting every node (bit-identical legacy path)."""
         conditions = self._conditions(spec)
         registry = KeyRegistry(spec.n, run_seed=spec.seed)
         verifier = IngestPipeline(registry)
@@ -105,6 +178,7 @@ class DeploymentBackend(ExecutionBackend):
             pid: DeployedNode(
                 factory(pid, registry.secret_key(pid), verifier),
                 schedule=spec.schedule,
+                mempool_capacity=self.mempool_capacity,
             )
             for pid in range(spec.n)
         }
@@ -112,6 +186,8 @@ class DeploymentBackend(ExecutionBackend):
             transport,
             regular_topology(spec.n, self.gossip_degree, seed=spec.seed),
             on_deliver=lambda pid, message: nodes[pid].on_gossip(message),
+            current_round=clock.current_round if self.gossip_seen_horizon is not None else None,
+            seen_horizon_rounds=self.gossip_seen_horizon,
         )
 
         # Adversary substrate: omniscient tree, key hand-over, and the
@@ -128,6 +204,9 @@ class DeploymentBackend(ExecutionBackend):
         # the simulator.
         byz_by_round = {r: tracker.peek(r) for r in range(spec.rounds + 1)}
 
+        collector = getattr(self, "_metrics_collector", None)
+        hub = MetricsHub() if collector is not None else None
+
         sent_by_round = [[0, 0, 0] for _ in range(spec.rounds)]
 
         def publish(pid: int, r: int, message: Message) -> None:
@@ -136,6 +215,8 @@ class DeploymentBackend(ExecutionBackend):
             counters[0] += votes
             counters[1] += proposes
             counters[2] += other
+            if hub is not None:
+                hub.inc("messages_published")
             if isinstance(message, ProposeMessage) and message.block is not None:
                 tree_buffer.offer(message.block)
             network.nodes[pid].publish(message)
@@ -145,36 +226,7 @@ class DeploymentBackend(ExecutionBackend):
         network.start()
         started = asyncio.get_running_loop().time()
 
-        skew_rng = random.Random(spec.seed ^ 0x5CE3)
-        offsets = {
-            pid: skew_rng.uniform(-self.clock_skew_s, self.clock_skew_s)
-            for pid in range(spec.n)
-        }
-
-        # One driver task per node keeps phase timing independent per
-        # node; each node reads the shared clock through its own
-        # (skewed) lens.  Corrupted nodes stop executing the honest
-        # protocol (the adversary speaks for them) but keep relaying
-        # gossip — dissemination is a model assumption, not a courtesy.
-        async def drive(node: DeployedNode) -> None:
-            offset = offsets[node.pid]
-            for r in range(spec.rounds):
-                await clock.sleep_until_elapsed(clock.start_of(r) + offset)
-                # Transactions arrive at every awake node's mempool —
-                # corrupted ones included, exactly like the simulator.
-                if node.awake(r):
-                    offer_transactions(node.process, spec.arrivals(r))
-                # Send phase belongs to H_r, receive phase to O_{r+1} \ B_{r+1}
-                # — gated independently, exactly like the simulator (a
-                # non-growing adversary may corrupt for r only).
-                if node.pid not in byz_by_round[r]:
-                    for message in node.run_send_phase(r):
-                        publish(node.pid, r, message)
-                await clock.sleep_until_elapsed(
-                    clock.start_of(r) + self.receive_fraction * clock.round_s + offset
-                )
-                if node.pid not in byz_by_round[r + 1]:
-                    node.run_receive_phase(r)
+        offsets = clock_skew_offsets(spec, self.clock_skew_s)
 
         async def drive_adversary() -> None:
             for r in range(spec.rounds):
@@ -185,17 +237,269 @@ class DeploymentBackend(ExecutionBackend):
                     check_adversary_message(message, byz)
                     publish(message.sender, r, message)
 
-        await asyncio.gather(*(drive(node) for node in nodes.values()), drive_adversary())
+        async def sample_metrics() -> None:
+            from repro.runtime.worker import _sample_gauges
+
+            while True:
+                await asyncio.sleep(0.25)
+                _sample_gauges(hub, transport, network, nodes)
+                collector.push("worker0", hub.snapshot())
+
+        sampler = (
+            asyncio.get_running_loop().create_task(sample_metrics())
+            if collector is not None
+            else None
+        )
+        # One driver task per node keeps phase timing independent per
+        # node; each node reads the shared clock through its own
+        # (skewed) lens.
+        await asyncio.gather(
+            *(
+                drive_node(
+                    node,
+                    clock=clock,
+                    rounds=spec.rounds,
+                    offset=offsets[node.pid],
+                    receive_fraction=self.receive_fraction,
+                    byz_by_round=byz_by_round,
+                    arrivals=spec.arrivals,
+                    publish=publish,
+                    metrics=hub,
+                )
+                for node in nodes.values()
+            ),
+            drive_adversary(),
+        )
+        if sampler is not None:
+            sampler.cancel()
+            try:
+                await sampler
+            except asyncio.CancelledError:
+                pass
         await network.stop()
         wall = asyncio.get_running_loop().time() - started
 
-        trace = self._build_trace(spec, conditions, nodes, byz_by_round, sent_by_round, tree)
+        if collector is not None:
+            from repro.runtime.worker import _sample_gauges
+
+            _sample_gauges(hub, transport, network, nodes)
+            collector.push("worker0", hub.snapshot())
+
+        pending: list[Block] = []
+        locals_ = [node.process.tree for node in nodes.values()] + [tree]
+        for local in locals_:
+            for tip in local.tips():
+                for block_id in local.path(tip):
+                    pending.append(local.get(block_id))
+        decisions = [decision for node in nodes.values() for decision in node.decisions]
+
+        trace = self._assemble_trace(
+            spec, conditions, byz_by_round, sent_by_round, decisions, pending
+        )
+        extras = {
+            "nodes": nodes,
+            "transport": transport,
+            "adversary_tree": tree,
+            "gossip": network.stats_totals(),
+        }
+        if hub is not None:
+            extras["metrics"] = hub.snapshot()
         return EngineResult(
             trace=trace,
             backend=self.name,
             wall_seconds=wall,
             messages_sent=transport.sent_count,
-            extras={"nodes": nodes, "transport": transport, "adversary_tree": tree},
+            extras=extras,
+        )
+
+    # ------------------------------------------------------------------
+    # Multi-process path (coordinator over socket-mesh workers)
+    # ------------------------------------------------------------------
+    async def _execute_multiprocess(self, spec: RunSpec) -> EngineResult:
+        """Shard the deployment across spawned workers and merge results."""
+        if spec.adversary is not None:
+            raise ValueError(
+                "multi-process deployments do not support adversaries: the "
+                "adversary's send power needs the omniscient shared tree, "
+                "which cannot span processes — run with processes=1"
+            )
+        if self.protocols is not PROTOCOLS:
+            raise ValueError(
+                "multi-process deployments resolve protocols by name from "
+                "the default registry inside each worker; custom registries "
+                "need processes=1"
+            )
+        conditions = self._conditions(spec)
+        shards = shard_pids(spec.n, self.processes)
+        n_workers = len(shards)
+        owner = {pid: wid for wid, shard in enumerate(shards) for pid in shard}
+
+        tmpdir = tempfile.mkdtemp(prefix="repro-deploy-")
+        if supports_unix_sockets():
+            addresses: dict[int, object] = {
+                wid: os.path.join(tmpdir, f"w{wid}.sock") for wid in range(n_workers)
+            }
+            control_address: object = os.path.join(tmpdir, "control.sock")
+        else:
+            addresses = {wid: _free_tcp_address() for wid in range(n_workers)}
+            control_address = _free_tcp_address()
+
+        loop = asyncio.get_running_loop()
+        ready: set[int] = set()
+        dialed: set[int] = set()
+        writers: dict[int, asyncio.StreamWriter] = {}
+        results: dict[int, dict] = {}
+        failures: list[str] = []
+        ready_evt, dialed_evt, results_evt = asyncio.Event(), asyncio.Event(), asyncio.Event()
+        collector = getattr(self, "_metrics_collector", None)
+
+        def fail(reason: str) -> None:
+            failures.append(reason)
+            ready_evt.set()
+            dialed_evt.set()
+            results_evt.set()
+
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+            try:
+                while True:
+                    frame = await read_frame(reader)
+                    tag = frame[0]
+                    if tag == "ready":
+                        writers[frame[1]] = writer
+                        ready.add(frame[1])
+                        if len(ready) == n_workers:
+                            ready_evt.set()
+                    elif tag == "dialed":
+                        dialed.add(frame[1])
+                        if len(dialed) == n_workers:
+                            dialed_evt.set()
+                    elif tag == "metrics":
+                        if collector is not None:
+                            collector.push(f"worker{frame[1]}", frame[2])
+                    elif tag == "result":
+                        results[frame[1]] = frame[2]
+                        if collector is not None:
+                            collector.push(f"worker{frame[1]}", frame[2]["metrics"])
+                        if len(results) == n_workers:
+                            results_evt.set()
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                if len(results) < n_workers:
+                    fail("a worker's control connection closed before its result")
+
+        server = await serve_stream(control_address, handle)
+        ctx = multiprocessing.get_context("spawn")
+        procs: list = []
+
+        async def watch_processes() -> None:
+            while not results_evt.is_set():
+                for wid, proc in enumerate(procs):
+                    if proc.exitcode not in (None, 0):
+                        fail(f"worker {wid} exited with code {proc.exitcode}")
+                        return
+                await asyncio.sleep(0.2)
+
+        round_s = RoundClock(self.delta_s).round_s
+        budget = 60.0 + 2.0 * spec.rounds * round_s + 5.0 * n_workers
+
+        async def wait(event: asyncio.Event, phase: str) -> None:
+            try:
+                await asyncio.wait_for(event.wait(), timeout=budget)
+            except asyncio.TimeoutError:
+                raise RuntimeError(f"deployment workers timed out during {phase}") from None
+            if failures:
+                raise RuntimeError("; ".join(failures))
+
+        async def broadcast(frame: object) -> None:
+            blob = encode_frame(frame)
+            for wid in sorted(writers):
+                writers[wid].write(blob)
+                await writers[wid].drain()
+
+        watcher = loop.create_task(watch_processes())
+        started = loop.time()
+        try:
+            for wid, shard in enumerate(shards):
+                config = WorkerConfig(
+                    worker_id=wid,
+                    n_workers=n_workers,
+                    shard=shard,
+                    owner=owner,
+                    addresses=addresses,
+                    control_address=control_address,
+                    spec=spec,
+                    delta_s=self.delta_s,
+                    gossip_degree=self.gossip_degree,
+                    receive_fraction=self.receive_fraction,
+                    clock_skew_s=self.clock_skew_s,
+                    seen_horizon_rounds=self.gossip_seen_horizon,
+                    mempool_capacity=self.mempool_capacity,
+                )
+                proc = ctx.Process(target=worker_main, args=(config,), daemon=True)
+                proc.start()
+                procs.append(proc)
+
+            await wait(ready_evt, "listener setup")
+            await broadcast(("dial",))
+            await wait(dialed_evt, "mesh dialing")
+            start_wall = time.time() + 0.5
+            await broadcast(("start", start_wall))
+            await wait(results_evt, "the run")
+            await broadcast(("shutdown",))
+        finally:
+            watcher.cancel()
+            try:
+                await watcher
+            except asyncio.CancelledError:
+                pass
+            server.close()
+            await server.wait_closed()
+            for proc in procs:
+                await loop.run_in_executor(None, proc.join, 10)
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            shutil.rmtree(tmpdir, ignore_errors=True)
+        wall = loop.time() - started
+
+        ordered = [results[wid] for wid in range(n_workers)]
+        sent_by_round = [[0, 0, 0] for _ in range(spec.rounds)]
+        for payload in ordered:
+            for r, counters in enumerate(payload["sent_by_round"]):
+                for k in range(3):
+                    sent_by_round[r][k] += counters[k]
+        decisions = [decision for payload in ordered for decision in payload["decisions"]]
+        pending = [block for payload in ordered for block in payload["blocks"]]
+        byz_by_round = {r: frozenset() for r in range(spec.rounds + 1)}
+        trace = self._assemble_trace(
+            spec, conditions, byz_by_round, sent_by_round, decisions, pending
+        )
+
+        def summed(section: str, key: str) -> int:
+            return sum(payload[section][key] for payload in ordered)
+
+        extras = {
+            "processes": n_workers,
+            "shards": shards,
+            "transport": {
+                key: summed("transport", key)
+                for key in ("sent", "frames_sent", "frames_received", "misrouted")
+            },
+            "gossip": {
+                key: summed("gossip", key)
+                for key in ("delivered", "duplicates", "stale_dropped", "seen_entries")
+            },
+            "mempool": {key: summed("mempool", key) for key in ("shed", "admitted", "occupancy")},
+        }
+        merged = SourcedMetrics()
+        for payload in ordered:
+            merged.push(f"worker{payload['worker_id']}", payload["metrics"])
+        extras["metrics"] = merged.merged()
+        return EngineResult(
+            trace=trace,
+            backend=self.name,
+            wall_seconds=wall,
+            messages_sent=extras["transport"]["sent"],
+            extras=extras,
         )
 
     # ------------------------------------------------------------------
@@ -209,27 +513,21 @@ class DeploymentBackend(ExecutionBackend):
             return conditions_from_network(spec.network)
         return NetworkConditions.synchronous()
 
-    def _build_trace(
+    def _assemble_trace(
         self,
         spec: RunSpec,
         conditions: NetworkConditions,
-        nodes: dict[int, DeployedNode],
         byz_by_round: dict[int, frozenset[int]],
         sent_by_round: list[list[int]],
-        adversary_tree: BlockTree,
+        decisions: Iterable[DecisionEvent],
+        pending_blocks: Iterable[Block],
     ) -> Trace:
-        # Merge every node's local tree (plus adversary-minted blocks)
-        # into one omniscient analysis tree.
+        # Merge every shard's block views (plus adversary-minted blocks
+        # on the single-process path) into one omniscient analysis tree.
         tree = BlockTree([genesis_block()])
         # Merging already-validated local trees: lossless, never evicts.
         buffer = BlockBuffer(tree, max_orphans_per_source=None)
-        pending = []
-        locals_ = [node.process.tree for node in nodes.values()] + [adversary_tree]
-        for local in locals_:
-            for tip in local.tips():
-                for block_id in local.path(tip):
-                    pending.append(local.get(block_id))
-        for block in sorted(pending, key=lambda b: b.view):
+        for block in sorted(pending_blocks, key=lambda b: b.view):
             buffer.offer(block)
 
         trace = Trace(
@@ -261,7 +559,6 @@ class DeploymentBackend(ExecutionBackend):
                     other_sent=other,
                 )
             )
-        for node in nodes.values():
-            trace.decisions.extend(node.decisions)
+        trace.decisions.extend(decisions)
         trace.decisions.sort(key=lambda d: (d.round, d.pid))
         return trace

@@ -10,16 +10,29 @@ This package makes that substrate concrete:
   physical realisation of an asynchronous period.
 * :mod:`repro.net.gossip` — a random regular overlay flooding
   first-seen messages; delivery is at-least-once, exactly-once per
-  message id at each node.
+  content digest at each node.
+* :mod:`repro.net.socket_transport` — the same transport surface over
+  real TCP/UNIX-domain sockets, for multi-process deployments.
 """
 
 from repro.net.gossip import GossipNetwork, GossipNode, regular_topology
-from repro.net.transport import SimTransport, SurgeWindow
+from repro.net.socket_transport import (
+    SocketTransport,
+    encode_frame,
+    read_frame,
+    supports_unix_sockets,
+)
+from repro.net.transport import LinkLatencyModel, SimTransport, SurgeWindow
 
 __all__ = [
     "GossipNetwork",
     "GossipNode",
+    "LinkLatencyModel",
     "SimTransport",
+    "SocketTransport",
     "SurgeWindow",
+    "encode_frame",
+    "read_frame",
     "regular_topology",
+    "supports_unix_sockets",
 ]

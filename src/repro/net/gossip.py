@@ -1,4 +1,4 @@
-"""Gossip dissemination over the asyncio transport.
+"""Gossip dissemination over an asyncio transport.
 
 The paper assumes "an underlying peer-to-peer dissemination protocol
 (e.g., a gossip protocol)" (§2.1) with two crucial properties exercised
@@ -9,6 +9,28 @@ delayed, not lost).
 Topology is a random k-regular overlay (complete graph for tiny n);
 every node forwards each first-seen message to all its neighbours, which
 floods any connected graph in ``diameter`` hops.
+
+Deduplication is **digest-keyed**, exactly like the round simulator's
+message bus (:mod:`repro.engine.bus`): the "seen" key is recomputed from
+a message's *content* via
+:func:`~repro.sleepy.messages.verification_digest` and never read from
+the message's own memoised ``message_id`` — that slot is
+attacker-supplied state on adversary-constructed objects.  Trusting it
+would let an adversary **censor** an honest message: publish a junk
+message carrying the honest message's transplanted id first, and every
+node would mark the id seen and refuse to flood the honest original.
+Foreign message types without signed fields (test doubles) fall back to
+their ``message_id`` attribute as the key.
+
+The seen set is also **bounded**: on a long-running service every node
+would otherwise retain one digest per message forever.  Entries are
+round-bucketed and evicted once their message round falls behind the
+current round (read from an authoritative clock, never from message
+fields, which are attacker-controlled) by more than the configured
+horizon — the vote-expiry horizon plus slack, below which no protocol
+consumer can still use the message.  Messages already older than that
+on arrival are dropped outright (counted, never silently), which keeps
+an evicted digest from re-flooding forever.
 """
 
 from __future__ import annotations
@@ -19,8 +41,7 @@ from collections.abc import Callable
 
 import networkx as nx
 
-from repro.net.transport import SimTransport
-from repro.sleepy.messages import Message
+from repro.sleepy.messages import Message, verification_digest
 
 #: Called on each node's behalf when a new message first reaches it.
 DeliveryHandler = Callable[[int, Message], None]
@@ -43,21 +64,43 @@ def regular_topology(n: int, degree: int, seed: int = 0) -> dict[int, tuple[int,
 
 
 class GossipNode:
-    """One node's view of the gossip overlay."""
+    """One node's view of the gossip overlay.
+
+    ``transport`` may be any object with the ``send(src, dst, payload)``
+    / ``await recv(pid)`` surface — the in-process
+    :class:`~repro.net.transport.SimTransport` or the multi-process
+    :class:`~repro.net.socket_transport.SocketTransport`.
+
+    ``current_round`` / ``seen_horizon_rounds`` bound the seen set (see
+    the module docstring); with either unset the node keeps every digest
+    forever, which is only acceptable for bounded test runs.
+    """
 
     def __init__(
         self,
         pid: int,
-        transport: SimTransport,
+        transport,
         neighbors: tuple[int, ...],
         on_deliver: DeliveryHandler,
+        current_round: Callable[[], int] | None = None,
+        seen_horizon_rounds: int | None = None,
     ) -> None:
+        if seen_horizon_rounds is not None and seen_horizon_rounds < 0:
+            raise ValueError("seen horizon must be non-negative")
         self.pid = pid
         self._transport = transport
         self._neighbors = neighbors
         self._on_deliver = on_deliver
-        self._seen: set[str] = set()
+        self._current_round = current_round
+        self._seen_horizon = seen_horizon_rounds
+        #: dedup key -> message round (for eviction accounting).
+        self._seen: dict[str, int] = {}
+        #: round -> keys first seen with that message round.
+        self._seen_buckets: dict[int, list[str]] = {}
+        self._seen_floor = 0
         self._pump_task: asyncio.Task | None = None
+        #: Dissemination accounting (consumed by metrics and tests).
+        self.stats = {"delivered": 0, "duplicates": 0, "stale_dropped": 0}
 
     def publish(self, message: Message) -> None:
         """Originate a message: deliver locally and push to neighbours."""
@@ -76,6 +119,10 @@ class GossipNode:
             except asyncio.CancelledError:
                 pass
 
+    def seen_count(self) -> int:
+        """Live dedup entries (bounded when a horizon is configured)."""
+        return len(self._seen)
+
     async def _pump(self) -> None:
         while True:
             src, payload = await self._transport.recv(self.pid)
@@ -83,26 +130,80 @@ class GossipNode:
                 self._ingest(src, payload)
 
     def _ingest(self, src: int | None, message: Message) -> None:
-        if message.message_id in self._seen:
+        message_round = getattr(message, "round", 0)
+        expiry_floor = self._expiry_floor()
+        if expiry_floor is not None and message_round < expiry_floor:
+            # Older than anything the protocol can still consume: its
+            # votes are expired and its proposal views pruned.  Dropping
+            # (audited, never silent) also prevents a re-flood loop once
+            # the digest has been evicted below.
+            self.stats["stale_dropped"] += 1
             return
-        self._seen.add(message.message_id)
+        key = self._dedup_key(message)
+        if key in self._seen:
+            self.stats["duplicates"] += 1
+            return
+        bucket_round = message_round
+        if expiry_floor is not None:
+            # Clamp attacker-controlled future round tags so a huge tag
+            # cannot park its bucket beyond every future eviction.
+            now = self._current_round()
+            bucket_round = min(max(bucket_round, 0), now)
+        self._seen[key] = bucket_round
+        self._seen_buckets.setdefault(bucket_round, []).append(key)
+        if expiry_floor is not None:
+            self._evict_seen(expiry_floor)
+        self.stats["delivered"] += 1
         self._on_deliver(self.pid, message)
         for neighbor in self._neighbors:
             if neighbor != src:
                 self._transport.send(self.pid, neighbor, message)
 
+    def _expiry_floor(self) -> int | None:
+        if self._current_round is None or self._seen_horizon is None:
+            return None
+        return self._current_round() - self._seen_horizon
+
+    def _evict_seen(self, floor: int) -> None:
+        while self._seen_floor < floor:
+            for key in self._seen_buckets.pop(self._seen_floor, ()):
+                self._seen.pop(key, None)
+            self._seen_floor += 1
+
+    @staticmethod
+    def _dedup_key(message: Message) -> str:
+        # Content-derived, mirroring engine/bus.py: never trust the
+        # instance's memoised message_id (transplanted-id censorship).
+        if isinstance(message, Message):
+            return verification_digest(message)
+        return message.message_id
+
 
 class GossipNetwork:
-    """All gossip nodes of one deployment."""
+    """All gossip nodes one process hosts.
+
+    ``topology`` may cover a *shard* of the deployment: a multi-process
+    worker builds nodes only for the pids it hosts, while the transport
+    routes forwards addressed to remote pids over sockets.
+    """
 
     def __init__(
         self,
-        transport: SimTransport,
+        transport,
         topology: dict[int, tuple[int, ...]],
         on_deliver: DeliveryHandler,
+        current_round: Callable[[], int] | None = None,
+        seen_horizon_rounds: int | None = None,
     ) -> None:
         self.nodes = {
-            pid: GossipNode(pid, transport, neighbors, on_deliver)
+            pid: GossipNode(
+                pid,
+                transport,
+                neighbors,
+                on_deliver,
+                current_round=current_round,
+                seen_horizon_rounds=seen_horizon_rounds,
+            )
             for pid, neighbors in topology.items()
         }
 
@@ -114,3 +215,12 @@ class GossipNetwork:
     async def stop(self) -> None:
         """Stop every node's pump."""
         await asyncio.gather(*(node.stop() for node in self.nodes.values()))
+
+    def stats_totals(self) -> dict[str, int]:
+        """Summed per-node dissemination counters."""
+        totals = {"delivered": 0, "duplicates": 0, "stale_dropped": 0, "seen_entries": 0}
+        for node in self.nodes.values():
+            for key in ("delivered", "duplicates", "stale_dropped"):
+                totals[key] += node.stats[key]
+            totals["seen_entries"] += node.seen_count()
+        return totals

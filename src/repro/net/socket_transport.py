@@ -1,0 +1,250 @@
+"""Real socket transport: length-prefixed frames over TCP or UDS.
+
+The multi-process deployment fabric.  Each worker process hosts a
+*shard* of the deployment's nodes and one :class:`SocketTransport`:
+sends between two pids of the same shard loop back through in-process
+queues (exactly like :class:`~repro.net.transport.SimTransport`), sends
+to a remote pid are pickled into a length-prefixed frame and written to
+the socket of the worker that owns the destination.  The surface is the
+same ``send(src, dst, payload)`` / ``await recv(pid)`` pair plus the
+seeded :class:`~repro.net.transport.LinkLatencyModel` surge model, so
+:class:`~repro.net.gossip.GossipNetwork` runs unchanged on either
+substrate — and, because latency streams are per-link and content
+seeded, a sharded run draws exactly the modelled latencies the
+single-process run would (real socket hops add on top; δ absorbs them).
+
+Wire format: every frame is a 4-byte big-endian length followed by a
+pickle of ``(src, dst, payload)``.  Workers form a full mesh — every
+worker dials every other worker once and uses that connection for its
+outgoing frames; the accepting side only reads.  Addresses are UNIX
+domain socket paths (strings) or ``(host, port)`` TCP tuples, so the
+same framing crosses hosts unchanged.
+
+Frames are never dropped: an in-order stream plus unbounded receive
+queues preserve the model's "delayed, not lost" dissemination
+assumption, and a frame for a pid this worker does not host (a routing
+bug, not load) is counted in ``misrouted_count`` rather than silently
+discarded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import socket
+import struct
+from collections.abc import Iterable, Mapping
+
+from repro.net.transport import LinkLatencyModel, SurgeWindow
+
+#: ``str`` → UNIX domain socket path, ``(host, port)`` → TCP.
+Address = str | tuple[str, int]
+
+_HEADER = struct.Struct(">I")
+#: Hard per-frame ceiling — a corrupt or hostile length prefix must not
+#: trigger a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(payload: object) -> bytes:
+    """One length-prefixed pickle frame for ``payload``."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(blob)} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    return _HEADER.pack(len(blob)) + blob
+
+
+async def read_frame(reader: asyncio.StreamReader) -> object:
+    """Read one frame; raises :class:`asyncio.IncompleteReadError` at EOF."""
+    header = await reader.readexactly(_HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    return pickle.loads(await reader.readexactly(length))
+
+
+async def open_stream(address) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Dial ``address`` (UDS path or ``(host, port)`` tuple)."""
+    if isinstance(address, str):
+        return await asyncio.open_unix_connection(address)
+    host, port = address
+    return await asyncio.open_connection(host, port)
+
+
+async def serve_stream(address, handler) -> asyncio.AbstractServer:
+    """Listen on ``address``, calling ``handler(reader, writer)`` per peer."""
+    if isinstance(address, str):
+        return await asyncio.start_unix_server(handler, path=address)
+    host, port = address
+    return await asyncio.start_server(handler, host=host, port=port)
+
+
+def supports_unix_sockets() -> bool:
+    """Whether this platform can bind UNIX domain sockets."""
+    return hasattr(socket, "AF_UNIX")
+
+
+class SocketTransport:
+    """One worker's point-to-point fabric over the socket mesh.
+
+    Args:
+        n: total deployment size (for parity with ``SimTransport``).
+        local_pids: the pids this worker hosts (receive queues exist
+            only for these).
+        owner: pid → worker id, for every pid of the deployment.
+        worker_id: this worker's id.
+        addresses: worker id → listen address for every worker.
+        base_latency_s / jitter_s / seed / surges: the modelled latency
+            layer, identical to ``SimTransport``'s.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        local_pids: Iterable[int],
+        owner: Mapping[int, int],
+        worker_id: int,
+        addresses: Mapping[int, object],
+        base_latency_s: float = 0.002,
+        jitter_s: float = 0.001,
+        seed: int = 0,
+        surges: tuple[SurgeWindow, ...] = (),
+    ) -> None:
+        if n <= 0:
+            raise ValueError("need at least one node")
+        self.n = n
+        self.worker_id = worker_id
+        self._local_pids = frozenset(local_pids)
+        self._owner = dict(owner)
+        self._addresses = dict(addresses)
+        self._latency = LinkLatencyModel(base_latency_s, jitter_s, seed, surges)
+        self._queues: dict[int, asyncio.Queue] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._peer_writers: dict[int, asyncio.StreamWriter] = {}
+        self._reader_tasks: list[asyncio.Task] = []
+        self._origin: float | None = None
+        #: Sends initiated by this worker's nodes (local + remote).
+        self.sent_count = 0
+        #: Frames written to / read from the socket mesh.
+        self.frames_sent = 0
+        self.frames_received = 0
+        #: Frames that arrived for a pid this worker does not host.
+        self.misrouted_count = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind this worker's listener and create the local queues."""
+        self._queues = {pid: asyncio.Queue() for pid in self._local_pids}
+        self._server = await serve_stream(self._addresses[self.worker_id], self._accept)
+
+    async def connect(self) -> None:
+        """Dial every other worker (call after all listeners are bound)."""
+        for wid, address in sorted(self._addresses.items()):
+            if wid == self.worker_id:
+                continue
+            _, writer = await open_stream(address)
+            self._peer_writers[wid] = writer
+
+    def anchor(self, origin_loop_time: float | None = None) -> None:
+        """Anchor ``now()`` (default: the current loop time).
+
+        Workers of one deployment anchor at the *shared* round-clock
+        origin so surge windows open and close simultaneously everywhere.
+        """
+        self._origin = (
+            origin_loop_time
+            if origin_loop_time is not None
+            else asyncio.get_running_loop().time()
+        )
+
+    async def close(self) -> None:
+        """Tear down the listener, peer connections, and reader tasks."""
+        for task in self._reader_tasks:
+            task.cancel()
+        for task in self._reader_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._reader_tasks.clear()
+        for writer in self._peer_writers.values():
+            writer.close()
+        self._peer_writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # The transport surface (same as SimTransport)
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since :meth:`anchor`."""
+        if self._origin is None:
+            raise RuntimeError("transport not anchored")
+        return asyncio.get_running_loop().time() - self._origin
+
+    def latency(self, src: int, dst: int, at_s: float) -> float:
+        """Sampled one-way latency for ``src → dst`` at ``at_s`` (per-link stream)."""
+        return self._latency.latency(src, dst, at_s)
+
+    def send(self, src: int, dst: int, payload: object) -> None:
+        """Send ``payload`` to ``dst`` after the modelled link latency.
+
+        Local destinations loop back through in-process queues; remote
+        ones are framed onto the owning worker's connection once the
+        modelled latency has elapsed (the real socket adds its own).
+        """
+        if self._origin is None:
+            raise RuntimeError("transport not anchored")
+        delay = self.latency(src, dst, self.now())
+        loop = asyncio.get_running_loop()
+        if dst in self._local_pids:
+            loop.call_later(delay, self._queues[dst].put_nowait, (src, payload))
+        else:
+            frame = encode_frame((src, dst, payload))
+            loop.call_later(delay, self._write_frame, self._owner[dst], frame)
+        self.sent_count += 1
+
+    async def recv(self, pid: int) -> tuple[int, object]:
+        """Wait for the next ``(source, payload)`` addressed to local ``pid``."""
+        return await self._queues[pid].get()
+
+    def queue_depths(self) -> dict[int, int]:
+        """Pending (already-arrived, not yet received) messages per local pid."""
+        return {pid: queue.qsize() for pid, queue in self._queues.items()}
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _write_frame(self, wid: int, frame: bytes) -> None:
+        writer = self._peer_writers.get(wid)
+        if writer is None or writer.is_closing():
+            # Peer already gone (shutdown race): nothing to deliver to.
+            self.misrouted_count += 1
+            return
+        writer.write(frame)
+        self.frames_sent += 1
+
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader_tasks.append(asyncio.current_task())
+        try:
+            while True:
+                src, dst, payload = await read_frame(reader)
+                self.frames_received += 1
+                queue = self._queues.get(dst)
+                if queue is None:
+                    self.misrouted_count += 1
+                    continue
+                queue.put_nowait((src, payload))
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:
+            # close() cancels reader tasks; finish quietly so the
+            # streams machinery does not log the cancellation.
+            pass
+        finally:
+            writer.close()

@@ -7,6 +7,15 @@ and the transport can be configured with **surge windows** during which
 latencies are multiplied (a real-world asynchronous period: the network
 is slow, not lossy).  Messages are never dropped, matching the paper's
 assumption that gossip survives transient asynchrony.
+
+Latency sampling is **per-link**: every ordered ``(src, dst)`` pair owns
+its own seeded random stream, derived from the transport seed and the
+pair alone.  A single shared stream would make each sampled latency
+depend on the *global order* of ``send`` calls — i.e. on asyncio task
+interleaving — so two runs of the same deployment could draw different
+latencies under scheduler jitter.  With per-link streams, the k-th
+message on a link always draws the same latency no matter how sends on
+other links interleave with it.
 """
 
 from __future__ import annotations
@@ -28,6 +37,45 @@ class SurgeWindow:
     factor: float
 
 
+class LinkLatencyModel:
+    """Seeded per-link latency streams shared by every transport flavour.
+
+    One ordered ``(src, dst)`` pair → one :class:`random.Random` stream,
+    seeded from ``(seed, src, dst)`` content (string seeding hashes via
+    SHA-512, so streams are identical across processes and hash seeds —
+    a sharded multi-process deployment draws exactly the latencies the
+    single-process run would).
+    """
+
+    def __init__(
+        self,
+        base_latency_s: float,
+        jitter_s: float,
+        seed: int,
+        surges: tuple[SurgeWindow, ...] = (),
+    ) -> None:
+        if base_latency_s < 0 or jitter_s < 0:
+            raise ValueError("latencies must be non-negative")
+        self._base = base_latency_s
+        self._jitter = jitter_s
+        self._seed = seed
+        self._surges = surges
+        self._link_rngs: dict[tuple[int, int], random.Random] = {}
+
+    def latency(self, src: int, dst: int, at_s: float) -> float:
+        """Sampled one-way latency for the ``src → dst`` link at ``at_s``."""
+        rng = self._link_rngs.get((src, dst))
+        if rng is None:
+            rng = self._link_rngs[(src, dst)] = random.Random(
+                f"link:{self._seed}:{src}:{dst}"
+            )
+        delay = self._base + rng.random() * self._jitter
+        for surge in self._surges:
+            if surge.start_s <= at_s < surge.end_s:
+                delay *= surge.factor
+        return delay
+
+
 class SimTransport:
     """Point-to-point message fabric for one deployment run."""
 
@@ -41,13 +89,8 @@ class SimTransport:
     ) -> None:
         if n <= 0:
             raise ValueError("need at least one node")
-        if base_latency_s < 0 or jitter_s < 0:
-            raise ValueError("latencies must be non-negative")
         self.n = n
-        self._base = base_latency_s
-        self._jitter = jitter_s
-        self._rng = random.Random(seed)
-        self._surges = surges
+        self._latency = LinkLatencyModel(base_latency_s, jitter_s, seed, surges)
         self._queues: dict[int, asyncio.Queue] = {}
         self._origin: float | None = None
         self.sent_count = 0
@@ -63,19 +106,15 @@ class SimTransport:
             raise RuntimeError("transport not started")
         return asyncio.get_running_loop().time() - self._origin
 
-    def latency(self, at_s: float) -> float:
-        """Sampled one-way latency for a message sent at ``at_s``."""
-        delay = self._base + self._rng.random() * self._jitter
-        for surge in self._surges:
-            if surge.start_s <= at_s < surge.end_s:
-                delay *= surge.factor
-        return delay
+    def latency(self, src: int, dst: int, at_s: float) -> float:
+        """Sampled one-way latency for ``src → dst`` at ``at_s`` (per-link stream)."""
+        return self._latency.latency(src, dst, at_s)
 
     def send(self, src: int, dst: int, payload: object) -> None:
         """Send ``payload`` to ``dst``; it arrives after the link latency."""
         if self._origin is None:
             raise RuntimeError("transport not started")
-        delay = self.latency(self.now())
+        delay = self.latency(src, dst, self.now())
         queue = self._queues[dst]
         loop = asyncio.get_running_loop()
         loop.call_later(delay, queue.put_nowait, (src, payload))
@@ -86,3 +125,7 @@ class SimTransport:
         if self._origin is None:
             raise RuntimeError("transport not started")
         return await self._queues[pid].get()
+
+    def queue_depths(self) -> dict[int, int]:
+        """Pending (already-arrived, not yet received) messages per node."""
+        return {pid: queue.qsize() for pid, queue in self._queues.items()}

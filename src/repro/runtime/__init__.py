@@ -4,9 +4,14 @@
 * :mod:`repro.runtime.node` — a protocol process bridged onto gossip.
 * :mod:`repro.runtime.runner` — whole-deployment orchestration
   producing a standard :class:`~repro.sleepy.trace.Trace`.
+* :mod:`repro.runtime.worker` — the multi-process worker entrypoint
+  (one shard of nodes per process, joined over sockets).
+* :mod:`repro.runtime.metrics` — live service telemetry (counters,
+  histograms, an HTTP JSON scrape endpoint).
 """
 
 from repro.runtime.clock import ROUND_FACTOR, RoundClock
+from repro.runtime.metrics import Histogram, MetricsHub, MetricsServer, SourcedMetrics
 from repro.runtime.node import DeployedNode
 from repro.runtime.runner import (
     DeploymentConfig,
@@ -14,6 +19,7 @@ from repro.runtime.runner import (
     run_deployment,
     run_deployment_async,
 )
+from repro.runtime.worker import WorkerConfig, drive_node, shard_pids, worker_main
 
 __all__ = [
     "ROUND_FACTOR",
@@ -21,6 +27,14 @@ __all__ = [
     "DeployedNode",
     "DeploymentConfig",
     "DeploymentResult",
+    "Histogram",
+    "MetricsHub",
+    "MetricsServer",
+    "SourcedMetrics",
+    "WorkerConfig",
+    "drive_node",
     "run_deployment",
     "run_deployment_async",
+    "shard_pids",
+    "worker_main",
 ]

@@ -30,14 +30,28 @@ class RoundClock:
         """Anchor round 0 at the current loop time."""
         self._origin = asyncio.get_running_loop().time()
 
+    def start_at(self, origin_loop_time: float) -> None:
+        """Anchor round 0 at an explicit loop time.
+
+        Multi-process workers anchor at a *shared* origin (a wall-clock
+        instant translated into each worker's loop time) so every
+        process agrees on round boundaries — the synchronized-clocks
+        model assumption, realised across processes.
+        """
+        self._origin = origin_loop_time
+
     @property
     def started(self) -> bool:
         return self._origin is not None
 
-    def _elapsed(self) -> float:
+    def elapsed(self) -> float:
+        """Seconds since round 0 began."""
         if self._origin is None:
             raise RuntimeError("clock not started")
         return asyncio.get_running_loop().time() - self._origin
+
+    def _elapsed(self) -> float:
+        return self.elapsed()
 
     def current_round(self) -> int:
         """The round the wall clock is currently in."""

@@ -11,6 +11,7 @@ phase, exactly like the queue-on-sleep rule of §2.1.
 
 from __future__ import annotations
 
+from repro.chain.transactions import Mempool
 from repro.protocols.tob_base import SleepyTOBProcess
 from repro.sleepy.messages import Message
 from repro.sleepy.schedule import SleepSchedule
@@ -24,8 +25,13 @@ class DeployedNode:
         self,
         process: SleepyTOBProcess,
         schedule: SleepSchedule | None = None,
+        mempool_capacity: int | None = None,
     ) -> None:
         self.process = process
+        if mempool_capacity is not None and getattr(process, "mempool", None) is not None:
+            # Service runs bound the pool (see Mempool): swap in a
+            # capacity-limited pool before any transaction is offered.
+            process.mempool = Mempool(capacity=mempool_capacity)
         self._schedule = schedule
         self._inbox: list[Message] = []
         self.decisions: list[DecisionEvent] = []

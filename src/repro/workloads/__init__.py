@@ -27,11 +27,16 @@ from repro.workloads.scenarios import (
     surge_scenario,
     throughput_scenario,
 )
-from repro.workloads.transactions import burst_stream, constant_rate_stream
+from repro.workloads.transactions import (
+    SubmissionRateWorkload,
+    burst_stream,
+    constant_rate_stream,
+)
 
 __all__ = [
     "RampSchedule",
     "RotatingSchedule",
+    "SubmissionRateWorkload",
     "blackout_scenario",
     "burst_stream",
     "churn_scenario",

@@ -3,8 +3,54 @@
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
 from repro.chain.transactions import Transaction
+
+
+@dataclass(frozen=True)
+class SubmissionRateWorkload:
+    """A lazy constant-rate workload for unbounded (soak) runs.
+
+    Materialised dicts (:func:`constant_rate_stream`) pre-compute every
+    round's arrivals, which a wall-clock-budgeted service cannot do.
+    This workload instead *generates* round ``r``'s arrivals on demand
+    via the duck-typed ``.get(round, default)`` that
+    :meth:`repro.engine.spec.RunSpec.arrivals` calls — so it drops into
+    ``RunSpec.transactions`` unchanged.
+
+    Arrivals are a pure function of ``(seed, round)`` (one seeded
+    generator per round, nonces partitioned by round), so every worker
+    process — and every re-run — generates identical traffic without
+    coordination.  Deliberately unmemoised: instances stay frozen-field
+    pure, which keeps their canonical digests, pickles, and cross-process
+    copies all equivalent.
+    """
+
+    rate_per_round: int
+    seed: int = 0
+    payload_bytes: int = 8
+    senders: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.rate_per_round < 0:
+            raise ValueError("rate must be non-negative")
+        if self.payload_bytes < 0 or self.senders <= 0:
+            raise ValueError("payload size must be non-negative and senders positive")
+
+    def get(self, round_number: int, default=()) -> tuple[Transaction, ...]:
+        """The round's arrivals (``default`` is accepted for dict parity)."""
+        if round_number < 0 or self.rate_per_round == 0:
+            return default
+        rng = random.Random(f"rate-{self.seed}-{round_number}")
+        return tuple(
+            Transaction.create(
+                rng.randrange(self.senders),
+                (round_number << 32) | i,
+                rng.randbytes(self.payload_bytes),
+            )
+            for i in range(self.rate_per_round)
+        )
 
 
 def constant_rate_stream(

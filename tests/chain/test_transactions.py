@@ -50,3 +50,35 @@ def test_mempool_mark_included_drops():
         pool.add(tx)
     pool.mark_included(frozenset({txs[1].tx_id}))
     assert pool.pending_ids() == {txs[0].tx_id, txs[2].tx_id}
+
+
+def test_mempool_capacity_sheds_and_counts():
+    pool = Mempool(capacity=2)
+    assert pool.add(Transaction.create(0, 0))
+    assert pool.add(Transaction.create(0, 1))
+    overflow = Transaction.create(0, 2)
+    assert not pool.add(overflow)  # full: shed, never queued silently
+    assert pool.shed_count == 1
+    assert pool.admitted_count == 2
+    assert len(pool) == 2
+    # Invalid and duplicate rejections are not "shed" — only valid,
+    # novel transactions turned away by backpressure count.
+    assert not pool.add(Transaction.create(0, 0))
+    bad = Transaction(sender=0, nonce=9, payload=b"", checksum="nope")
+    assert not pool.add(bad)
+    assert pool.shed_count == 1
+    # Inclusion frees capacity; the next submission is admitted again.
+    pool.mark_included(frozenset({Transaction.create(0, 0).tx_id}))
+    assert pool.add(overflow)
+    assert pool.admitted_count == 3
+
+
+def test_mempool_capacity_validation_and_default_unbounded():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Mempool(capacity=0)
+    pool = Mempool()
+    for i in range(100):
+        assert pool.add(Transaction.create(1, i))
+    assert pool.shed_count == 0

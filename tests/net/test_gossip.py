@@ -3,9 +3,9 @@
 import asyncio
 
 from repro.crypto.signatures import KeyRegistry
-from repro.net.gossip import GossipNetwork, regular_topology
-from repro.net.transport import SimTransport
-from repro.sleepy.messages import make_vote
+from repro.net.gossip import GossipNetwork, GossipNode, regular_topology
+from repro.net.transport import SimTransport, SurgeWindow
+from repro.sleepy.messages import make_vote, verification_digest
 
 
 def test_regular_topology_is_connected_and_regular():
@@ -85,3 +85,119 @@ def test_dissemination_survives_publisher_silence():
     delivered, vote = asyncio.run(scenario())
     for pid in range(10):
         assert vote.message_id in delivered[pid]
+
+
+def test_transplanted_id_cannot_censor_honest_message():
+    """Regression for the headline dedup bug: front-running an honest
+    message's *self-reported* id must not suppress the honest original.
+
+    The adversary floods a junk message whose memoised ``_message_id``
+    slot is overwritten with the honest message's id.  Under the old
+    id-keyed dedup every node marked that id seen and refused to flood
+    the honest message; under content-digest dedup the two messages have
+    different keys and both flood.
+    """
+
+    async def scenario():
+        n = 10
+        registry = KeyRegistry(n, run_seed=0)
+        transport = SimTransport(n, base_latency_s=0.001, jitter_s=0.0, seed=0)
+        delivered: dict[int, list] = {pid: [] for pid in range(n)}
+        network = GossipNetwork(
+            transport,
+            regular_topology(n, 3, seed=0),
+            on_deliver=lambda pid, m: delivered[pid].append(verification_digest(m)),
+        )
+        transport.start()
+        network.start()
+        honest = make_vote(registry, registry.secret_key(0), 0, None)
+        junk = make_vote(registry, registry.secret_key(1), 0, None)
+        # Transplant the honest id into the junk message's memo slot —
+        # exactly what an adversary controls on objects it constructs.
+        object.__setattr__(junk, "_message_id", honest.message_id)
+        assert junk.message_id == honest.message_id
+        network.nodes[1].publish(junk)
+        await asyncio.sleep(0.05)  # let the junk flood finish first
+        network.nodes[0].publish(honest)
+        await asyncio.sleep(0.1)
+        await network.stop()
+        return delivered, honest
+
+    delivered, honest = asyncio.run(scenario())
+    honest_digest = verification_digest(honest)
+    for pid in range(10):
+        assert honest_digest in delivered[pid], f"node {pid} censored the honest message"
+
+
+def test_dissemination_survives_sleeping_originator_during_surge():
+    """§2.1 end to end: the originator publishes, goes to sleep
+    immediately, and a latency surge is in force — the message is
+    delayed, never lost, and still reaches every other node."""
+
+    async def scenario():
+        n = 10
+        registry = KeyRegistry(n, run_seed=0)
+        surge = SurgeWindow(start_s=0.0, end_s=0.25, factor=10.0)
+        transport = SimTransport(n, base_latency_s=0.002, jitter_s=0.0, seed=0, surges=(surge,))
+        delivered: dict[int, list] = {pid: [] for pid in range(n)}
+        network = GossipNetwork(
+            transport,
+            regular_topology(n, 3, seed=0),
+            on_deliver=lambda pid, m: delivered[pid].append(m.message_id),
+        )
+        transport.start()
+        network.start()
+        vote = make_vote(registry, registry.secret_key(0), 0, None)
+        network.nodes[0].publish(vote)
+        # The originator sleeps mid-flood, while every hop is surged.
+        await network.nodes[0].stop()
+        await asyncio.sleep(0.6)  # diameter · surged hop latency, with slack
+        await network.stop()
+        return delivered, vote
+
+    delivered, vote = asyncio.run(scenario())
+    for pid in range(10):
+        assert vote.message_id in delivered[pid]
+
+
+def test_seen_set_is_bounded_by_the_expiry_horizon():
+    """Soak-lane memory: dedup entries are evicted once older than the
+    horizon, and re-arrivals of evicted (stale) messages are dropped —
+    counted, never re-flooded."""
+
+    async def scenario():
+        horizon = 3
+        senders = 4
+        rounds = 50
+        registry = KeyRegistry(senders, run_seed=0)
+        transport = SimTransport(1, base_latency_s=0.001, jitter_s=0.0, seed=0)
+        transport.start()
+        current = [0]
+        node = GossipNode(
+            0,
+            transport,
+            neighbors=(),
+            on_deliver=lambda pid, m: None,
+            current_round=lambda: current[0],
+            seen_horizon_rounds=horizon,
+        )
+        votes = {}
+        for r in range(rounds):
+            current[0] = r
+            for sender in range(senders):
+                vote = make_vote(registry, registry.secret_key(sender), r, None)
+                votes[(r, sender)] = vote
+                node.publish(vote)
+            # Live entries never exceed one horizon's worth of rounds.
+            assert node.seen_count() <= (horizon + 1) * senders
+        assert node.stats["delivered"] == rounds * senders
+
+        # An evicted message re-arriving is stale: dropped and audited,
+        # not re-flooded (which would loop forever on a live overlay).
+        stale = votes[(0, 0)]
+        node.publish(stale)
+        assert node.stats["stale_dropped"] == 1
+        assert node.stats["delivered"] == rounds * senders
+        return True
+
+    assert asyncio.run(scenario())

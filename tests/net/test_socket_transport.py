@@ -1,0 +1,145 @@
+"""Socket transport: framing, mesh routing, local loopback, audit counters."""
+
+import asyncio
+import pickle
+
+import pytest
+
+from repro.net.socket_transport import (
+    MAX_FRAME_BYTES,
+    SocketTransport,
+    encode_frame,
+    read_frame,
+    supports_unix_sockets,
+)
+
+
+def test_frame_roundtrip():
+    payload = {"a": 1, "b": (2, 3), "c": b"bytes"}
+    frame = encode_frame(payload)
+    assert frame[:4] == len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)).to_bytes(4, "big")
+
+    async def roundtrip():
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    assert asyncio.run(roundtrip()) == payload
+
+
+def test_oversized_length_prefix_rejected():
+    async def poisoned():
+        reader = asyncio.StreamReader()
+        reader.feed_data((MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"junk")
+        with pytest.raises(ValueError, match="exceeds"):
+            await read_frame(reader)
+
+    asyncio.run(poisoned())
+
+
+def _mesh_pair(tmp_path):
+    """Two workers (pids {0} and {1,2}) joined over UNIX sockets."""
+    addresses = {0: str(tmp_path / "w0.sock"), 1: str(tmp_path / "w1.sock")}
+    owner = {0: 0, 1: 1, 2: 1}
+    common = dict(base_latency_s=0.001, jitter_s=0.0, seed=0)
+    a = SocketTransport(
+        3, local_pids=(0,), owner=owner, worker_id=0, addresses=addresses, **common
+    )
+    b = SocketTransport(
+        3, local_pids=(1, 2), owner=owner, worker_id=1, addresses=addresses, **common
+    )
+    return a, b
+
+
+@pytest.mark.skipif(not supports_unix_sockets(), reason="needs AF_UNIX")
+def test_cross_worker_and_local_delivery(tmp_path):
+    async def scenario():
+        a, b = _mesh_pair(tmp_path)
+        await a.start()
+        await b.start()
+        await a.connect()
+        await b.connect()
+        a.anchor()
+        b.anchor()
+        try:
+            a.send(0, 1, "remote")  # crosses the socket to worker b
+            b.send(1, 2, "local")  # loops back inside worker b
+            b.send(2, 0, "back")  # crosses the socket to worker a
+            assert await asyncio.wait_for(b.recv(1), timeout=2) == (0, "remote")
+            assert await asyncio.wait_for(b.recv(2), timeout=2) == (1, "local")
+            assert await asyncio.wait_for(a.recv(0), timeout=2) == (2, "back")
+            # Local loopback never touches the socket mesh.
+            assert a.frames_sent == 1 and b.frames_sent == 1
+            assert a.frames_received == 1 and b.frames_received == 1
+            assert a.misrouted_count == 0 and b.misrouted_count == 0
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.skipif(not supports_unix_sockets(), reason="needs AF_UNIX")
+def test_modelled_latencies_match_sim_transport(tmp_path):
+    """A sharded transport draws exactly the per-link latencies the
+    single-process SimTransport would — the reproducibility contract
+    that keeps multi-process runs equivalent."""
+    from repro.net.transport import SimTransport
+
+    async def scenario():
+        a, _b = _mesh_pair(tmp_path)
+        sim = SimTransport(3, base_latency_s=0.001, jitter_s=0.004, seed=0)
+        socketed = SocketTransport(
+            3,
+            local_pids=(0,),
+            owner={0: 0, 1: 1, 2: 1},
+            worker_id=0,
+            addresses={},
+            base_latency_s=0.001,
+            jitter_s=0.004,
+            seed=0,
+        )
+        return [
+            (sim.latency(src, dst, 0.0), socketed.latency(src, dst, 0.0))
+            for src in range(3)
+            for dst in range(3)
+            if src != dst
+            for _ in range(3)
+        ]
+
+    for sim_sample, socket_sample in asyncio.run(scenario()):
+        assert sim_sample == socket_sample
+
+
+@pytest.mark.skipif(not supports_unix_sockets(), reason="needs AF_UNIX")
+def test_misrouted_frames_are_counted_not_dropped_silently(tmp_path):
+    async def scenario():
+        a, b = _mesh_pair(tmp_path)
+        await a.start()
+        await b.start()
+        await a.connect()
+        await b.connect()
+        a.anchor()
+        b.anchor()
+        try:
+            # Fault injection: worker a forgets it hosts pid 0 and
+            # frames it to worker b, which does not host pid 0 either.
+            a._local_pids = frozenset()
+            a._owner[0] = 1
+            a.send(1, 0, "lost?")
+            await asyncio.sleep(0.1)
+            assert b.misrouted_count == 1
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+def test_send_requires_anchor():
+    transport = SocketTransport(
+        2, local_pids=(0, 1), owner={0: 0, 1: 0}, worker_id=0, addresses={}
+    )
+    with pytest.raises(RuntimeError, match="not anchored"):
+        transport.send(0, 1, "x")

@@ -4,7 +4,7 @@ import asyncio
 
 import pytest
 
-from repro.net.transport import SimTransport, SurgeWindow
+from repro.net.transport import LinkLatencyModel, SimTransport, SurgeWindow
 
 
 def run(coro):
@@ -33,15 +33,59 @@ def test_send_before_start_rejected():
 def test_latency_respects_surge_windows():
     surge = SurgeWindow(start_s=1.0, end_s=2.0, factor=10.0)
     transport = SimTransport(2, base_latency_s=0.010, jitter_s=0.0, seed=0, surges=(surge,))
-    assert transport.latency(0.5) == pytest.approx(0.010)
-    assert transport.latency(1.5) == pytest.approx(0.100)
-    assert transport.latency(2.5) == pytest.approx(0.010)
+    assert transport.latency(0, 1, 0.5) == pytest.approx(0.010)
+    assert transport.latency(0, 1, 1.5) == pytest.approx(0.100)
+    assert transport.latency(0, 1, 2.5) == pytest.approx(0.010)
 
 
 def test_jitter_is_seeded():
     a = SimTransport(2, base_latency_s=0.001, jitter_s=0.005, seed=3)
     b = SimTransport(2, base_latency_s=0.001, jitter_s=0.005, seed=3)
-    assert [a.latency(0) for _ in range(5)] == [b.latency(0) for _ in range(5)]
+    assert [a.latency(0, 1, 0) for _ in range(5)] == [b.latency(0, 1, 0) for _ in range(5)]
+
+
+def test_latency_streams_are_per_link_and_order_independent():
+    """Regression: a shared RNG made latencies depend on global send order.
+
+    The k-th sample on a link must be identical no matter how sends on
+    *other* links interleave with it — otherwise asyncio scheduler
+    jitter changes the sampled latencies between runs of one deployment.
+    """
+    links = [(0, 1), (1, 0), (0, 2), (2, 1)]
+    a = LinkLatencyModel(0.001, 0.005, seed=7)
+    b = LinkLatencyModel(0.001, 0.005, seed=7)
+
+    interleaved: dict[tuple[int, int], list[float]] = {link: [] for link in links}
+    for k in range(6):  # round-robin across links
+        for link in links:
+            interleaved[link].append(a.latency(*link, at_s=0.0))
+
+    grouped: dict[tuple[int, int], list[float]] = {link: [] for link in links}
+    for link in reversed(links):  # one link at a time, opposite order
+        for k in range(6):
+            grouped[link].append(b.latency(*link, at_s=0.0))
+
+    assert interleaved == grouped
+    # Distinct links (including the two directions of a pair) draw
+    # distinct streams rather than aliasing one sequence.
+    assert interleaved[(0, 1)] != interleaved[(1, 0)]
+
+
+def test_queue_depths_reports_arrived_unread_messages():
+    async def scenario():
+        transport = SimTransport(2, base_latency_s=0.001, jitter_s=0.0, seed=0)
+        transport.start()
+        transport.send(0, 1, "x")
+        transport.send(0, 1, "y")
+        await asyncio.sleep(0.01)
+        depths = dict(transport.queue_depths())
+        await transport.recv(1)
+        depths_after = dict(transport.queue_depths())
+        return depths, depths_after
+
+    depths, depths_after = run(scenario())
+    assert depths[1] == 2
+    assert depths_after[1] == 1
 
 
 def test_surged_message_is_delayed_not_dropped():

@@ -1,0 +1,120 @@
+"""Telemetry: hub counters/gauges/histograms, merging, HTTP scrape."""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+from repro.runtime.metrics import Histogram, MetricsHub, MetricsServer, SourcedMetrics
+
+
+def test_hub_counters_gauges_histograms():
+    hub = MetricsHub()
+    hub.inc("sent")
+    hub.inc("sent", 4)
+    hub.gauge("depth", 7)
+    hub.observe("latency", 0.010)
+    hub.observe("latency", 0.020)
+    snapshot = hub.snapshot()
+    assert snapshot["counters"]["sent"] == 5
+    assert snapshot["gauges"]["depth"] == 7
+    latency = snapshot["histograms"]["latency"]
+    assert latency["count"] == 2
+    assert latency["min"] == 0.010 and latency["max"] == 0.020
+    assert latency["sum"] == 0.030
+    assert json.dumps(snapshot)  # JSON-safe by construction
+
+
+def test_histogram_merge_is_exact():
+    a, b = Histogram(), Histogram()
+    for value in (0.001, 0.002, 0.5):
+        a.observe(value)
+    for value in (0.004, 8.0):
+        b.observe(value)
+    merged = Histogram()
+    merged.merge_summary(a.summary())
+    merged.merge_summary(b.summary())
+    direct = Histogram()
+    for value in (0.001, 0.002, 0.5, 0.004, 8.0):
+        direct.observe(value)
+    assert merged.summary() == direct.summary()
+
+
+def test_hub_merge_sums_counters_and_namespaces_gauges():
+    worker = MetricsHub()
+    worker.inc("decisions", 3)
+    worker.gauge("queue", 2)
+    hub = MetricsHub()
+    hub.merge_snapshot(worker.snapshot(), source="worker0")
+    hub.merge_snapshot(worker.snapshot(), source="worker1")
+    snapshot = hub.snapshot()
+    assert snapshot["counters"]["decisions"] == 6
+    assert snapshot["gauges"]["worker0.queue"] == 2
+    assert snapshot["gauges"]["worker1.queue"] == 2
+    assert snapshot["gauges"]["queue"] == 4  # service-wide sum
+
+
+def test_sourced_metrics_replaces_per_source():
+    sourced = SourcedMetrics()
+    hub = MetricsHub()
+    hub.inc("decisions", 3)
+    sourced.push("worker0", hub.snapshot())
+    hub.inc("decisions", 2)  # cumulative snapshot re-pushed
+    sourced.push("worker0", hub.snapshot())
+    merged = sourced.merged()
+    assert merged["counters"]["decisions"] == 5  # replaced, not doubled
+
+
+def test_metrics_server_serves_snapshot_over_http():
+    async def scenario():
+        hub = MetricsHub()
+        hub.inc("decisions", 9)
+        server = MetricsServer(hub)
+        await server.start()
+        url = server.url
+        loop = asyncio.get_running_loop()
+
+        def scrape(path):
+            with urllib.request.urlopen(f"http://127.0.0.1:{server.port}{path}", timeout=5) as r:
+                return json.loads(r.read().decode("utf-8"))
+
+        body = await loop.run_in_executor(None, scrape, "/metrics")
+        root = await loop.run_in_executor(None, scrape, "/")
+
+        def missing():
+            try:
+                scrape("/nope")
+            except urllib.error.HTTPError as exc:
+                return exc.code
+            return None
+
+        status = await loop.run_in_executor(None, missing)
+        await server.stop()
+        return url, body, root, status
+
+    url, body, root, status = asyncio.run(scenario())
+    assert url.endswith("/metrics")
+    assert body["counters"]["decisions"] == 9
+    assert root == body
+    assert status == 404
+
+
+def test_metrics_server_provider_override():
+    async def scenario():
+        sourced = SourcedMetrics()
+        hub = MetricsHub()
+        hub.inc("x", 1)
+        sourced.push("worker0", hub.snapshot())
+        server = MetricsServer(MetricsHub(), provider=sourced.merged)
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def scrape():
+            with urllib.request.urlopen(server.url, timeout=5) as r:
+                return json.loads(r.read().decode("utf-8"))
+
+        body = await loop.run_in_executor(None, scrape)
+        await server.stop()
+        return body
+
+    assert asyncio.run(scenario())["counters"]["x"] == 1

@@ -1,0 +1,94 @@
+"""Multi-process deployment substrate: sharding, equivalence, backpressure."""
+
+import pytest
+
+from repro.engine.deploy_backend import DeploymentBackend
+from repro.engine.spec import RunSpec
+from repro.net.socket_transport import supports_unix_sockets
+from repro.runtime.worker import shard_pids
+
+pytestmark = pytest.mark.skipif(
+    not supports_unix_sockets(), reason="multi-process substrate tests need AF_UNIX"
+)
+
+
+def test_shard_pids_contiguous_and_exhaustive():
+    assert shard_pids(5, 2) == ((0, 1, 2), (3, 4))
+    assert shard_pids(4, 4) == ((0,), (1,), (2,), (3,))
+    assert shard_pids(6, 1) == ((0, 1, 2, 3, 4, 5),)
+    with pytest.raises(ValueError):
+        shard_pids(2, 3)
+    with pytest.raises(ValueError):
+        shard_pids(2, 0)
+
+
+def test_multiprocess_decides_the_same_chain_as_single_process():
+    """The deploy-smoke equivalence: sharding across processes changes
+    where nodes run, not what they decide."""
+    spec = RunSpec(n=4, rounds=6, protocol="resilient", eta=2, seed=0)
+    single = DeploymentBackend(delta_s=0.01).execute(spec)
+    multi = DeploymentBackend(delta_s=0.01, processes=2).execute(spec)
+
+    def decision_set(result):
+        return sorted((d.pid, d.round, d.view, d.tip) for d in result.trace.decisions)
+
+    assert decision_set(multi) == decision_set(single)
+    assert sorted(multi.trace.tree.tips()) == sorted(single.trace.tree.tips())
+    assert multi.extras["processes"] == 2
+    assert multi.extras["transport"]["misrouted"] == 0
+    # Frames crossed real sockets (the run was actually sharded).
+    assert multi.extras["transport"]["frames_sent"] > 0
+
+
+def test_multiprocess_rejects_adversaries_and_bad_process_counts():
+    from repro.sleepy.adversary import NullAdversary
+
+    spec = RunSpec(n=4, rounds=4, adversary=NullAdversary())
+    with pytest.raises(ValueError, match="adversar"):
+        DeploymentBackend(delta_s=0.01, processes=2).execute(spec)
+    with pytest.raises(ValueError, match="processes"):
+        DeploymentBackend(delta_s=0.01, processes=0).execute(RunSpec(n=4, rounds=4))
+
+
+def test_multiprocess_run_with_workload_churn_and_telemetry():
+    """A miniature soak: sharded run under churn with client traffic,
+    bounded mempools, bounded gossip memory, and merged telemetry."""
+    from repro.analysis import check_safety
+    from repro.workloads import SubmissionRateWorkload, churn_walk
+
+    spec = RunSpec(
+        n=6,
+        rounds=10,
+        protocol="resilient",
+        eta=2,
+        seed=1,
+        schedule=churn_walk(6, 2, 0.1, seed=1),
+        transactions=SubmissionRateWorkload(rate_per_round=4, seed=1),
+    )
+    backend = DeploymentBackend(
+        delta_s=0.01,
+        processes=2,
+        mempool_capacity=64,
+        gossip_seen_horizon=10,
+    )
+    result = backend.execute(spec)
+    assert check_safety(result.trace).ok
+    assert result.trace.decisions
+    assert result.extras["mempool"]["admitted"] > 0
+    assert result.extras["transport"]["misrouted"] == 0
+    metrics = result.extras["metrics"]
+    assert metrics["counters"]["decisions"] == len(result.trace.decisions)
+    assert metrics["histograms"]["decision_latency_s"]["count"] > 0
+
+
+def test_single_process_metrics_collector_receives_snapshots():
+    from repro.runtime.metrics import SourcedMetrics
+
+    spec = RunSpec(n=4, rounds=6, protocol="resilient", eta=2, seed=0)
+    backend = DeploymentBackend(delta_s=0.01)
+    collector = SourcedMetrics()
+    backend.attach_metrics(collector)
+    result = backend.execute(spec)
+    merged = collector.merged()
+    assert merged["counters"]["decisions"] == len(result.trace.decisions)
+    assert "metrics" in result.extras

@@ -62,6 +62,36 @@ def test_deploy_smoke(capsys):
     assert "Deployment summary" in out
 
 
+def test_soak_runs_as_a_service_and_dumps_metrics(capsys, tmp_path):
+    import json
+
+    dump = tmp_path / "soak.json"
+    assert (
+        main(
+            [
+                "soak",
+                "--duration", "1",
+                "--n", "4",
+                "--delta-ms", "15",
+                "--rate", "4",
+                "--churn", "0",
+                "--mempool-capacity", "32",
+                "--dump", str(dump),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Soak summary" in out
+    assert "metrics at http://" in out
+    payload = json.loads(dump.read_text())
+    assert payload["summary"]["decisions"] > 0
+    assert payload["summary"]["safe"] is True
+    assert payload["summary"]["shed_protocol_messages"] == 0
+    # The dump's metrics section came over a real HTTP scrape.
+    assert payload["metrics"]["counters"]["decisions"] == payload["summary"]["decisions"]
+
+
 def test_sweep_runs_named_grid_and_saves_rows(capsys, tmp_path):
     import json
 

@@ -43,3 +43,44 @@ def test_burst_stream():
     assert list(stream) == [7]
     assert len(stream[7]) == 10
     assert all(is_valid_transaction(tx) for tx in stream[7])
+
+
+def test_submission_rate_workload_is_lazy_deterministic_and_valid():
+    from repro.workloads.transactions import SubmissionRateWorkload
+
+    workload = SubmissionRateWorkload(rate_per_round=3, seed=5)
+    first = workload.get(7)
+    again = workload.get(7)
+    assert first == again  # pure function of (seed, round)
+    assert len(first) == 3
+    assert all(is_valid_transaction(tx) for tx in first)
+    assert workload.get(8) != first
+    assert SubmissionRateWorkload(rate_per_round=3, seed=6).get(7) != first
+    assert workload.get(-1) == ()
+    assert SubmissionRateWorkload(rate_per_round=0).get(7) == ()
+
+
+def test_submission_rate_workload_nonces_partition_by_round():
+    from repro.workloads.transactions import SubmissionRateWorkload
+
+    workload = SubmissionRateWorkload(rate_per_round=4, seed=0)
+    ids = [tx.tx_id for r in range(6) for tx in workload.get(r)]
+    assert len(ids) == len(set(ids))
+
+
+def test_submission_rate_workload_pickles_and_digests_stably():
+    import pickle
+
+    from repro.engine.spec import stable_digest
+    from repro.workloads.transactions import SubmissionRateWorkload
+
+    workload = SubmissionRateWorkload(rate_per_round=2, seed=3)
+    clone = pickle.loads(pickle.dumps(workload))
+    assert clone == workload
+    assert clone.get(4) == workload.get(4)
+    # Generating arrivals must not perturb the canonical digest (no
+    # memoisation state): workers and the sweep journal rely on it.
+    digest_before = stable_digest(workload)
+    workload.get(0)
+    assert stable_digest(workload) == digest_before
+    assert stable_digest(clone) == digest_before
