@@ -7,7 +7,7 @@ safety (Definition 6).  The theorem promises both; the decision should
 arrive within about one view.
 """
 
-from repro.analysis import check_healing, check_safety, format_table
+from repro.analysis import check_healing, format_table
 from repro.harness import run_tob
 from repro.workloads import blackout_scenario, split_vote_attack_scenario
 

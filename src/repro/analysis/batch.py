@@ -35,6 +35,7 @@ from repro.analysis.assumptions import (
 from repro.analysis.checkers import check_asynchrony_resilience, check_safety
 from repro.analysis.metrics import chain_growth_rate, decision_rounds
 from repro.analysis.tables import format_table
+from repro.attacks import apply_script, get_script
 from repro.core.bounds import beta_tilde
 from repro.engine.backend import EngineResult, ExecutionBackend
 from repro.engine.spec import RunSpec
@@ -46,19 +47,28 @@ from repro.workloads.scenarios import churn_scenario, split_vote_attack_scenario
 THIRD = Fraction(1, 3)
 
 __all__ = [
+    "ATTACK_DEPLOY_SCRIPTS",
+    "ATTACK_SCRIPTS",
     "GRIDS",
     "GridJob",
     "ablation_beta_grid",
     "ablation_beta_table",
+    "attack_deploy_grid",
+    "attack_deploy_table",
+    "attack_grid",
+    "attack_table",
     "deploy_smoke_grid",
     "deploy_smoke_table",
     "figure1_grid",
     "figure1_table",
     "grid_journal",
+    "make_attack_deploy_backend",
     "make_deployment_backend",
     "pi_eta_grid",
     "pi_eta_table",
     "reduce_ablation_beta",
+    "reduce_attack",
+    "reduce_attack_deploy",
     "reduce_deploy_smoke",
     "reduce_figure1",
     "reduce_pi_eta",
@@ -426,6 +436,198 @@ def deploy_smoke_table(rows: Sequence[dict], n: int = 4) -> str:
 
 
 # ----------------------------------------------------------------------
+# AT — scripted-attack matrix (attack scripts × protocols × seeds)
+# ----------------------------------------------------------------------
+#: Every script in the attack library, in the order the matrix runs them.
+ATTACK_SCRIPTS: tuple[str, ...] = (
+    "partition-heal",
+    "surge-recover",
+    "partition-surge",
+    "lossy-links",
+    "equivocation-storm",
+    "sleep-storm",
+)
+
+#: The delay-only subset that is meaningful on the real deployment
+#: substrate (drops/corruption/equivocation are simulator powers or
+#: need in-process keys; see ``repro.attacks.library``).
+ATTACK_DEPLOY_SCRIPTS: tuple[str, ...] = (
+    "partition-heal",
+    "surge-recover",
+    "partition-surge",
+)
+
+
+def attack_spec(
+    *, script_name: str, protocol: str, n: int, eta: int, tail: int, seed: int, **_
+) -> RunSpec:
+    """One AT cell: a scripted attack against one protocol.
+
+    ``tail`` quiescent rounds after the script give the protocol room to
+    recover, so liveness after healing is part of the measurement.
+    """
+    script = get_script(script_name, n)
+    base = RunSpec(
+        n=n, rounds=script.total_rounds + tail, protocol=protocol, eta=eta, seed=seed
+    )
+    return apply_script(base, script)
+
+
+def attack_grid(
+    n: int = 12,
+    scripts: Sequence[str] = ATTACK_SCRIPTS,
+    protocols: Sequence[str] = ("mmr", "resilient"),
+    seeds: Sequence[int] = (0, 1),
+    eta: int = 6,
+    tail: int = 4,
+) -> SweepSpec:
+    """The simulator attack matrix: scripts × protocols × seeds.
+
+    η = 6 exceeds every scripted asynchronous stretch (π ≤ 5), so
+    Theorem 2 *guarantees* safety for the resilient protocol in every
+    cell — the CI gate asserts exactly that, while MMR's violations
+    under partition + surge are the paper's expected headline and are
+    reported, not gated.
+    """
+    return SweepSpec(
+        axes={
+            "script_name": tuple(scripts),
+            "protocol": tuple(protocols),
+            "seed": tuple(seeds),
+        },
+        base={"n": n, "eta": eta, "tail": tail},
+        factory=attack_spec,
+    )
+
+
+def reduce_attack(result: EngineResult, params: dict) -> dict:
+    """Reduce one attack cell to safety/liveness/latency columns."""
+    trace = result.trace
+    script = get_script(params["script_name"], params["n"])
+    timeline = script.timeline()
+    disrupted = [
+        r for r in range(script.total_rounds) if timeline.state_at(r).delivery_active
+    ]
+    recover_from = (disrupted[-1] + 1) if disrupted else 0
+    rounds = sorted(decision_rounds(trace))
+    gaps = [b - a for a, b in zip(rounds, rounds[1:])]
+    post = [r for r in rounds if r >= recover_from]
+    horizon = script.total_rounds + params["tail"]
+    return {
+        "script": params["script_name"],
+        "protocol": params["protocol"],
+        "seed": params["seed"],
+        "safe": check_safety(trace).ok,
+        "decided": bool(rounds),
+        "recovered": bool(post),
+        "first_decision": rounds[0] if rounds else None,
+        "longest_stall": max(gaps, default=0) if rounds else horizon,
+        "recovery_latency": (post[0] - recover_from) if post else None,
+    }
+
+
+def attack_table(rows: Sequence[dict], n: int = 12) -> str:
+    """The AT matrix table over reduced attack rows."""
+    return format_table(
+        [
+            "script",
+            "protocol",
+            "seed",
+            "safe",
+            "decided",
+            "recovered",
+            "first decision",
+            "longest stall",
+            "recovery latency",
+        ],
+        [
+            [
+                r["script"],
+                r["protocol"],
+                r["seed"],
+                r["safe"],
+                r["decided"],
+                r["recovered"],
+                r["first_decision"],
+                r["longest_stall"],
+                r["recovery_latency"],
+            ]
+            for r in rows
+        ],
+        title=f"AT: scripted-attack matrix (n={n}, simulator)",
+    )
+
+
+def attack_deploy_grid(
+    n: int = 6,
+    scripts: Sequence[str] = ATTACK_DEPLOY_SCRIPTS,
+    protocols: Sequence[str] = ("mmr", "resilient"),
+    seeds: Sequence[int] = (0,),
+    eta: int = 6,
+    tail: int = 4,
+) -> SweepSpec:
+    """The deployment attack matrix: delay-only scripts on real asyncio.
+
+    Same axes semantics as :func:`attack_grid`, restricted to the
+    delay-only library subset — the proxy transport realises exactly
+    the partitions and surges the simulator's scripted adversary
+    realises, so this grid is the substrate-equivalence smoke.
+    """
+    return SweepSpec(
+        axes={
+            "script_name": tuple(scripts),
+            "protocol": tuple(protocols),
+            "seed": tuple(seeds),
+        },
+        base={"n": n, "eta": eta, "tail": tail},
+        factory=attack_spec,
+    )
+
+
+def make_attack_deploy_backend(delta_ms: float = 10.0) -> ExecutionBackend:
+    """The deployment backend the AD grid runs on (single OS process).
+
+    The multi-process proxy path (coordinator-broadcast phase frames)
+    is exercised by the CI attack-matrix job's ``repro attack
+    --processes 2`` step and by the runtime test-suite, where one cell
+    is enough; paying two worker spawns per grid cell here would not
+    buy more coverage.
+    """
+    from repro.engine.deploy_backend import DeploymentBackend
+
+    return DeploymentBackend(delta_s=delta_ms / 1000.0)
+
+
+def reduce_attack_deploy(result: EngineResult, params: dict) -> dict:
+    """Reduce one deployment attack cell to its deterministic columns.
+
+    As with D0, only fields stable across real-time runs belong here
+    (resume bit-equivalence): audit counters and latency columns are
+    reported by ``repro attack``, not journaled.
+    """
+    trace = result.trace
+    return {
+        "script": params["script_name"],
+        "protocol": params["protocol"],
+        "seed": params["seed"],
+        "safe": check_safety(trace).ok,
+        "decided": bool(trace.decisions),
+    }
+
+
+def attack_deploy_table(rows: Sequence[dict], n: int = 6) -> str:
+    """The AD matrix table over reduced deployment attack rows."""
+    return format_table(
+        ["script", "protocol", "seed", "safe", "decided"],
+        [
+            [r["script"], r["protocol"], r["seed"], r["safe"], r["decided"]]
+            for r in rows
+        ],
+        title=f"AD: scripted attacks on the deployment substrate (n={n}, real asyncio)",
+    )
+
+
+# ----------------------------------------------------------------------
 # Journals (checkpoint/resume for long grids)
 # ----------------------------------------------------------------------
 def grid_journal(name: str) -> SweepJournal | None:
@@ -507,6 +709,21 @@ GRIDS: dict[str, GridJob] = {
             reducer=reduce_deploy_smoke,
             table=deploy_smoke_table,
             backend=make_deployment_backend,
+        ),
+        GridJob(
+            name="attacks",
+            description="AT: scripted-attack matrix (scripts × protocols) on the simulator",
+            build=attack_grid,
+            reducer=reduce_attack,
+            table=attack_table,
+        ),
+        GridJob(
+            name="attacks-deploy",
+            description="AD: delay-only scripted attacks on the real asyncio deployment",
+            build=attack_deploy_grid,
+            reducer=reduce_attack_deploy,
+            table=attack_deploy_table,
+            backend=make_attack_deploy_backend,
         ),
     )
 }

@@ -1,0 +1,108 @@
+"""The script interpreter for the round simulator.
+
+:class:`ScriptedAdversary` turns an
+:class:`~repro.attacks.script.AttackScript` into the three powers of the
+model's adversary (:mod:`repro.sleepy.adversary`):
+
+* **corruption** — the timeline's cumulative ``corrupt`` sets (monotone,
+  i.e. the growing-adversary model);
+* **arbitrary messages** — while ``equivocate`` is active, the corrupted
+  processes fork the deepest tip and double-vote each round (the
+  :class:`~repro.sleepy.adversary.EquivocatingVoteAdversary` move);
+  otherwise corrupted processes stay silent — crash faults;
+* **delivery control** — during the script's asynchronous rounds the
+  adversary withholds messages crossing a partition or a surged link
+  (they flow again when the effect lifts — delayed, never forged) and
+  flips seeded per-link coins for ``drop`` rules.
+
+:class:`ScriptSchedule` applies the script's ``sleep``/``wake`` ops on
+top of the run's base participation schedule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.attacks.script import AttackScript, drop_rng
+from repro.chain.block import Block
+from repro.sleepy.adversary import Adversary, AdversaryContext
+from repro.sleepy.messages import Message
+from repro.sleepy.schedule import SleepSchedule
+
+
+class ScriptedAdversary(Adversary):
+    """Interpret an :class:`~repro.attacks.script.AttackScript` on the simulator."""
+
+    growing = True
+
+    def __init__(self, script: AttackScript, seed: int = 0) -> None:
+        self.script = script
+        self.seed = seed
+        self.timeline = script.timeline()
+        self._forks: dict[int, tuple[Block, Block]] = {}
+
+    def byzantine(self, round_number: int) -> frozenset[int]:
+        return self.timeline.corrupted_at(round_number)
+
+    def send(self, round_number: int, ctx: AdversaryContext) -> Sequence[Message]:
+        state = self.timeline.state_at(round_number)
+        if not state.equivocating or not state.corrupted:
+            return ()
+        fork = self._forks.get(round_number)
+        if fork is None:
+            leader = min(state.corrupted)
+            parent = ctx.deepest_tip()
+            fork = (
+                ctx.craft_block(leader, view=round_number + 1, parent=parent, salt=1),
+                ctx.craft_block(leader, view=round_number + 1, parent=parent, salt=2),
+            )
+            self._forks[round_number] = fork
+        left, right = fork
+        messages: list[Message] = []
+        for pid in sorted(state.corrupted):
+            messages.append(ctx.craft_propose(pid, round_number, round_number + 1, left))
+            messages.append(ctx.craft_propose(pid, round_number, round_number + 1, right))
+            messages.append(ctx.craft_vote(pid, round_number, left.block_id))
+            messages.append(ctx.craft_vote(pid, round_number, right.block_id))
+        return messages
+
+    def deliver(
+        self,
+        round_number: int,
+        receiver: int,
+        deliverable: Sequence[Message],
+        ctx: AdversaryContext,
+    ) -> Sequence[Message]:
+        state = self.timeline.state_at(round_number)
+        if not state.delivery_active:
+            return deliverable
+        rng = drop_rng(self.seed, round_number, receiver)
+        kept: list[Message] = []
+        for message in deliverable:
+            if state.blocks(message.sender, receiver):
+                continue
+            if state.surged(message.sender, receiver):
+                continue
+            p = state.drop_probability(message.sender, receiver)
+            if p > 0.0 and rng.random() < p:
+                # Withheld this round only: the bus keeps the message
+                # pending and the coin is re-flipped next round — in the
+                # round model a drop is a delay, exactly the asynchrony
+                # assumption (contrast the proxy transport, which really
+                # discards frames and leans on gossip redundancy).
+                continue
+            kept.append(message)
+        return kept
+
+
+class ScriptSchedule(SleepSchedule):
+    """The base participation schedule minus the script's sleepers."""
+
+    def __init__(self, n: int, base: SleepSchedule, script: AttackScript) -> None:
+        super().__init__(n)
+        self.base = base
+        self.script = script
+        self.timeline = script.timeline()
+
+    def awake(self, round_number: int) -> frozenset[int]:
+        return self.base.awake(round_number) - self.timeline.sleeping_at(round_number)

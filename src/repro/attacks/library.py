@@ -1,0 +1,150 @@
+"""The canonical attack scripts the grid, CLI, and CI sweep.
+
+Each entry is a module-level builder ``(n) -> AttackScript`` (module
+level so scripts stay picklable through sweeps), sized relative to the
+run's ``n``.  ``delay_only(script)`` tells which scripts use nothing but
+partitions and surges — those are the scripts whose effect is pure
+message *delay*, so the round simulator pins them bit-identically run to
+run and the deployment substrates replay them with the proxy transport
+on any process count (equivocation needs signing power, which the
+multi-process deployment does not grant the coordinator).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.attacks.script import (
+    AttackScript,
+    CorruptOp,
+    DropOp,
+    EquivocateOp,
+    corrupt,
+    drop,
+    equivocate,
+    heal,
+    partition,
+    phase,
+    sleep,
+    surge,
+    wake,
+)
+
+
+def _halves(n: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    return tuple(range(n // 2)), tuple(range(n // 2, n))
+
+
+def partition_heal(n: int) -> AttackScript:
+    """Split the network in two halves, then heal."""
+    left, right = _halves(n)
+    return AttackScript(
+        name="partition-heal",
+        phases=(
+            phase(4),
+            phase(4, partition(left, right)),
+            phase(8, heal()),
+        ),
+    )
+
+
+def surge_recover(n: int) -> AttackScript:
+    """A global latency surge, then recovery."""
+    return AttackScript(
+        name="surge-recover",
+        phases=(
+            phase(4),
+            phase(4, surge()),
+            phase(8, heal()),
+        ),
+    )
+
+
+def partition_surge(n: int) -> AttackScript:
+    """The acceptance scenario: partition → heal → surge → heal."""
+    left, right = _halves(n)
+    return AttackScript(
+        name="partition-surge",
+        phases=(
+            phase(4),
+            phase(3, partition(left, right)),
+            phase(5, heal()),
+            phase(3, surge()),
+            phase(9, heal()),
+        ),
+    )
+
+
+def lossy_links(n: int) -> AttackScript:
+    """Probabilistic loss on every link for a window, then heal."""
+    return AttackScript(
+        name="lossy-links",
+        phases=(
+            phase(4),
+            phase(4, drop(None, None, 0.3)),
+            phase(8, heal()),
+        ),
+    )
+
+
+def equivocation_storm(n: int) -> AttackScript:
+    """Corrupt a fifth of the processes; they equivocate behind a partition."""
+    left, right = _halves(n)
+    byz = tuple(range(n - max(1, n // 5), n))
+    return AttackScript(
+        name="equivocation-storm",
+        phases=(
+            phase(4, corrupt(*byz)),
+            phase(4, partition(left, right), equivocate()),
+            phase(8, heal()),
+        ),
+    )
+
+
+def sleep_storm(n: int) -> AttackScript:
+    """A third of the honest processes sleeps through a surge, then wakes."""
+    sleepers = tuple(range(max(1, n // 3)))
+    return AttackScript(
+        name="sleep-storm",
+        phases=(
+            phase(4, sleep(*sleepers)),
+            phase(4, surge()),
+            phase(8, heal(), wake(*sleepers)),
+        ),
+    )
+
+
+ATTACKS: dict[str, Callable[[int], AttackScript]] = {
+    "partition-heal": partition_heal,
+    "surge-recover": surge_recover,
+    "partition-surge": partition_surge,
+    "lossy-links": lossy_links,
+    "equivocation-storm": equivocation_storm,
+    "sleep-storm": sleep_storm,
+}
+
+
+def get_script(name: str, n: int) -> AttackScript:
+    """Build the named script for an ``n``-process run."""
+    try:
+        builder = ATTACKS[name]
+    except KeyError:
+        known = ", ".join(sorted(ATTACKS))
+        raise ValueError(f"unknown attack script {name!r} (known: {known})") from None
+    return builder(n)
+
+
+def delay_only(script: AttackScript) -> bool:
+    """Whether the script's only fabric faults are delays (partition/surge).
+
+    Sleep/wake ops do not disqualify a script: they ride the
+    participation schedule, not the fabric.  Delay-only scripts run
+    unchanged on every substrate, including
+    multi-process deployments; ``drop`` really discards frames there,
+    and ``corrupt``/``equivocate`` need in-process signing power.
+    """
+    return not any(
+        isinstance(op, (DropOp, CorruptOp, EquivocateOp))
+        for p in script.phases
+        for op in p.ops
+    )

@@ -1,0 +1,455 @@
+"""The scheduled-attack DSL: fault injection as data.
+
+A script is a sequence of phases::
+
+    script = AttackScript(
+        name="partition-heal",
+        phases=(
+            phase(4),                                   # benign warm-up
+            phase(3, partition((0, 1, 2), (3, 4, 5))),  # split brain
+            phase(5, heal()),                           # recover
+        ),
+    )
+
+Each :func:`phase` lasts a fixed number of rounds and applies its ops on
+entry.  Ops compose a small state machine:
+
+* **Delivery ops** — :func:`partition`, :func:`surge`, :func:`drop` —
+  degrade the network and *persist until* :func:`heal`.  Rounds in which
+  any delivery op is active are the script's asynchronous rounds: the
+  round simulator consults the adversary's delivery choice there
+  (:class:`~repro.attacks.adversary.ScriptedAdversary`), and the
+  deployment's :class:`~repro.net.proxy_transport.ProxyTransport`
+  delays, drops, or holds the affected frames physically.
+* **Behaviour ops** — :func:`corrupt` (cumulative: the growing-adversary
+  model), :func:`equivocate` (corrupted processes fork and double-vote
+  until heal), :func:`sleep`/:func:`wake` (honest participation).
+  Corruption and sleepiness persist beyond the script's end; delivery
+  effects and equivocation end with the last phase (an implicit heal).
+
+Everything is a frozen dataclass: scripts pickle across process
+boundaries unchanged and :func:`~repro.engine.spec.stable_digest`
+derives one content digest per script, so attacks ride the sweep
+journal like any other grid axis.
+
+The model constraint the DSL enforces up front: an asynchronous period
+starts no earlier than round 1 (``ra ≥ 0`` in the paper's ``[ra+1,
+ra+π]``), so the first phase of a script must be benign in its delivery
+behaviour — give the run at least one synchronous warm-up round.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+
+from repro.engine.conditions import AsyncPeriod, NetworkConditions
+
+#: Latency multiplier a surge applies on the deployment substrate (the
+#: round simulator withholds surged links outright — the worst case the
+#: multiplier physically induces).
+DEFAULT_SURGE_FACTOR = 25.0
+
+
+# ----------------------------------------------------------------------
+# Ops (frozen records; the lowercase constructors below are the grammar)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PartitionOp:
+    """Split the network: messages cross group boundaries only on heal."""
+
+    groups: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for group in self.groups:
+            for pid in group:
+                if pid in seen:
+                    raise ValueError(f"partition groups overlap on pid {pid}")
+                seen.add(pid)
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+
+
+@dataclass(frozen=True)
+class HealOp:
+    """Clear every delivery effect (partition, surge, drop) and equivocation."""
+
+
+@dataclass(frozen=True)
+class SurgeOp:
+    """Delay traffic: all links, or only the ``(src, dst)`` pairs listed."""
+
+    factor: float = DEFAULT_SURGE_FACTOR
+    links: tuple[tuple[int, int], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("surge factor must be >= 1 (a surge slows the network)")
+
+
+@dataclass(frozen=True)
+class DropOp:
+    """Drop each frame on matching links with probability ``p``.
+
+    ``None`` for ``src``/``dst`` is a wildcard.  The deployment's proxy
+    really discards matching frames (gossip's redundant paths are what
+    keeps dissemination alive); the round simulator — whose bus *is* the
+    dissemination abstraction — re-flips the coin each asynchronous
+    round, so a dropped delivery is delayed, never lost, exactly the
+    model's assumption.
+    """
+
+    src: int | None
+    dst: int | None
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class CorruptOp:
+    """Hand the listed pids to the adversary (cumulative: never undone)."""
+
+    pids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class EquivocateOp:
+    """Corrupted processes fork and double-vote each round until heal."""
+
+
+@dataclass(frozen=True)
+class SleepOp:
+    """Put the listed pids to sleep (until a later ``wake``)."""
+
+    pids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class WakeOp:
+    """Wake the listed pids (undoes ``sleep``)."""
+
+    pids: tuple[int, ...]
+
+
+Op = PartitionOp | HealOp | SurgeOp | DropOp | CorruptOp | EquivocateOp | SleepOp | WakeOp
+
+
+def partition(*groups: Sequence[int]) -> PartitionOp:
+    """``partition((0,1,2), (3,4,5))`` — pids absent from every group form one implicit group."""
+    return PartitionOp(groups=tuple(tuple(group) for group in groups))
+
+
+def heal() -> HealOp:
+    """Restore normal delivery (and stop equivocating)."""
+    return HealOp()
+
+
+def surge(
+    factor: float = DEFAULT_SURGE_FACTOR, links: Sequence[tuple[int, int]] | None = None
+) -> SurgeOp:
+    """Latency surge on every link, or per-link with ``links=[(src, dst), ...]``."""
+    resolved = tuple((s, d) for s, d in links) if links is not None else None
+    return SurgeOp(factor=factor, links=resolved)
+
+
+def drop(src: int | None, dst: int | None, p: float) -> DropOp:
+    """Probabilistic loss on one link (``None`` = any sender/receiver)."""
+    return DropOp(src=src, dst=dst, p=p)
+
+
+def corrupt(*pids: int) -> CorruptOp:
+    """Corrupt processes (growing adversary: corruption accumulates)."""
+    return CorruptOp(pids=tuple(pids))
+
+
+def equivocate() -> EquivocateOp:
+    """Have the corrupted processes equivocate until the next heal."""
+    return EquivocateOp()
+
+
+def sleep(*pids: int) -> SleepOp:
+    """Send honest processes to sleep."""
+    return SleepOp(pids=tuple(pids))
+
+
+def wake(*pids: int) -> WakeOp:
+    """Wake previously slept processes."""
+    return WakeOp(pids=tuple(pids))
+
+
+# ----------------------------------------------------------------------
+# Phases and scripts
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Phase:
+    """``rounds`` rounds during which the state set by ``ops`` holds."""
+
+    rounds: int
+    ops: tuple[Op, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError("a phase must last at least one round")
+
+
+def phase(rounds: int, *ops: Op) -> Phase:
+    """One phase record: ``phase(3, partition((0, 1), (2, 3)))``."""
+    return Phase(rounds=rounds, ops=tuple(ops))
+
+
+@dataclass(frozen=True)
+class AttackScript:
+    """A named, declarative attack schedule (a tuple of phases)."""
+
+    name: str
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a script needs at least one phase")
+        first = self.phases[0]
+        if any(isinstance(op, (PartitionOp, SurgeOp, DropOp)) for op in first.ops):
+            raise ValueError(
+                "the first phase must be benign in delivery (asynchronous "
+                "periods start at round 1 at the earliest — add a warm-up phase)"
+            )
+
+    @property
+    def total_rounds(self) -> int:
+        """Rounds covered by the script's phases."""
+        return sum(p.rounds for p in self.phases)
+
+    def digest(self) -> str:
+        """The script's stable content digest (sweep-journal key material)."""
+        from repro.engine.spec import stable_digest
+
+        return stable_digest(self)
+
+    def timeline(self) -> ScriptTimeline:
+        """Resolve the phase records into per-round network/behaviour state."""
+        return ScriptTimeline(self)
+
+    def has_delivery_ops(self) -> bool:
+        """Whether any phase degrades delivery (partition/surge/drop)."""
+        return any(
+            isinstance(op, (PartitionOp, SurgeOp, DropOp))
+            for p in self.phases
+            for op in p.ops
+        )
+
+    def has_equivocation(self) -> bool:
+        """Whether any phase turns on equivocation (needs signing power)."""
+        return any(isinstance(op, EquivocateOp) for p in self.phases for op in p.ops)
+
+    def conditions(self) -> NetworkConditions:
+        """The script's asynchronous periods as substrate-neutral conditions.
+
+        Surge factors are fixed at 1.0 here on purpose: the *scripted*
+        realisation of asynchrony (adversarial delivery on the
+        simulator, the proxy transport on deployments) replaces the
+        generic physical surge, so the built-in transport must not
+        degrade the same rounds twice.
+        """
+        timeline = self.timeline()
+        periods: list[AsyncPeriod] = []
+        run_start: int | None = None
+        for r in range(self.total_rounds + 1):
+            active = r < self.total_rounds and timeline.state_at(r).delivery_active
+            if active and run_start is None:
+                run_start = r
+            elif not active and run_start is not None:
+                periods.append(AsyncPeriod(ra=run_start - 1, pi=r - run_start, surge_factor=1.0))
+                run_start = None
+        return NetworkConditions(periods=tuple(periods))
+
+
+# ----------------------------------------------------------------------
+# Timeline: the resolved state machine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhaseState:
+    """The network/behaviour state holding during one phase."""
+
+    index: int
+    start: int
+    #: pid → partition group (pids absent from every declared group share
+    #: the implicit group ``-1``); ``None`` = no partition.
+    group_of: dict[int, int] | None
+    surge_factor: float
+    #: Links the surge covers; ``None`` = every link (when surging).
+    surge_links: frozenset[tuple[int, int]] | None
+    drops: tuple[DropOp, ...]
+    corrupted: frozenset[int]
+    sleeping: frozenset[int]
+    equivocating: bool
+
+    @property
+    def delivery_active(self) -> bool:
+        return self.group_of is not None or self.surge_factor > 1.0 or bool(self.drops)
+
+    def blocks(self, src: int, dst: int) -> bool:
+        """Whether the current partition separates ``src`` from ``dst``."""
+        if self.group_of is None:
+            return False
+        return self.group_of.get(src, -1) != self.group_of.get(dst, -1)
+
+    def surged(self, src: int, dst: int) -> bool:
+        """Whether the ``src → dst`` link is currently surged."""
+        if self.surge_factor <= 1.0:
+            return False
+        return self.surge_links is None or (src, dst) in self.surge_links
+
+    def drop_probability(self, src: int, dst: int) -> float:
+        """Combined loss probability on ``src → dst`` (independent rules)."""
+        keep = 1.0
+        for rule in self.drops:
+            if (rule.src is None or rule.src == src) and (rule.dst is None or rule.dst == dst):
+                keep *= 1.0 - rule.p
+        return 1.0 - keep
+
+
+_QUIESCENT = {
+    "group_of": None,
+    "surge_factor": 1.0,
+    "surge_links": None,
+    "drops": (),
+    "equivocating": False,
+}
+
+
+class ScriptTimeline:
+    """Per-round resolution of an :class:`AttackScript`.
+
+    One :class:`PhaseState` per phase, plus a trailing quiescent state
+    for rounds past the script's end: delivery effects and equivocation
+    cease (an implicit heal), corruption and sleepiness persist.
+    """
+
+    def __init__(self, script: AttackScript) -> None:
+        self.script = script
+        states: list[PhaseState] = []
+        start = 0
+        state = PhaseState(
+            index=0,
+            start=0,
+            corrupted=frozenset(),
+            sleeping=frozenset(),
+            **_QUIESCENT,
+        )
+        for index, phase_record in enumerate(script.phases):
+            state = self._apply(state, phase_record.ops, index=index, start=start)
+            states.append(state)
+            start += phase_record.rounds
+        # The implicit trailing heal (index == len(phases)).
+        states.append(
+            replace(state, index=len(script.phases), start=start, **_QUIESCENT)
+        )
+        self._states = tuple(states)
+        self._starts = tuple(s.start for s in states)
+        self.total_rounds = script.total_rounds
+
+    @staticmethod
+    def _apply(state: PhaseState, ops: tuple[Op, ...], index: int, start: int) -> PhaseState:
+        updates: dict = {"index": index, "start": start}
+        for op in ops:
+            if isinstance(op, HealOp):
+                updates.update(_QUIESCENT)
+            elif isinstance(op, PartitionOp):
+                updates["group_of"] = {
+                    pid: g for g, group in enumerate(op.groups) for pid in group
+                }
+            elif isinstance(op, SurgeOp):
+                updates["surge_factor"] = op.factor
+                updates["surge_links"] = (
+                    frozenset(op.links) if op.links is not None else None
+                )
+            elif isinstance(op, DropOp):
+                updates["drops"] = updates.get("drops", state.drops) + (op,)
+            elif isinstance(op, CorruptOp):
+                updates["corrupted"] = (
+                    updates.get("corrupted", state.corrupted) | frozenset(op.pids)
+                )
+            elif isinstance(op, EquivocateOp):
+                updates["equivocating"] = True
+            elif isinstance(op, SleepOp):
+                updates["sleeping"] = (
+                    updates.get("sleeping", state.sleeping) | frozenset(op.pids)
+                )
+            elif isinstance(op, WakeOp):
+                updates["sleeping"] = (
+                    updates.get("sleeping", state.sleeping) - frozenset(op.pids)
+                )
+            else:  # pragma: no cover - the Op union is closed
+                raise TypeError(f"unknown op {op!r}")
+        return replace(state, **updates)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> tuple[PhaseState, ...]:
+        """All phase states, trailing quiescent state included."""
+        return self._states
+
+    def state_at(self, round_number: int) -> PhaseState:
+        """The state holding during ``round_number`` (clamped past the end)."""
+        if round_number < 0:
+            raise ValueError("rounds are non-negative")
+        return self._states[bisect_right(self._starts, round_number) - 1]
+
+    def corrupted_at(self, round_number: int) -> frozenset[int]:
+        return self.state_at(round_number).corrupted
+
+    def sleeping_at(self, round_number: int) -> frozenset[int]:
+        return self.state_at(round_number).sleeping
+
+    def phase_starts(self) -> tuple[int, ...]:
+        """First round of each phase (trailing quiescent phase included)."""
+        return self._starts
+
+
+def drop_rng(seed: int, round_number: int, receiver: int) -> random.Random:
+    """The seeded coin stream for one receiver's deliveries in one round.
+
+    Fresh per ``(seed, round, receiver)`` so delivery randomness never
+    depends on global draw order — two runs of the same script flip
+    identical coins, which is what makes scripted attacks journalable.
+    """
+    return random.Random(f"attack-drop:{seed}:{round_number}:{receiver}")
+
+
+def apply_script(spec, script: AttackScript):
+    """Compose ``script`` onto a benign :class:`~repro.engine.spec.RunSpec`.
+
+    Returns a new spec with the scripted adversary installed, the
+    script's asynchronous periods merged into the conditions, and —
+    when the script sleeps processes — the participation schedule
+    wrapped.  The base spec must not already carry an adversary (the
+    script owns that seam) nor a simulator-only ``network`` model.
+    """
+    import dataclasses
+
+    from repro.attacks.adversary import ScriptedAdversary, ScriptSchedule
+
+    if spec.adversary is not None:
+        raise ValueError("apply_script needs a spec without an adversary (the script is one)")
+    if spec.network is not None:
+        raise ValueError("describe the base spec with conditions, not a network model")
+    base_periods = spec.conditions.periods if spec.conditions is not None else ()
+    conditions = NetworkConditions(periods=base_periods + script.conditions().periods)
+    schedule = spec.schedule
+    if any(isinstance(op, (SleepOp, WakeOp)) for p in script.phases for op in p.ops):
+        schedule = ScriptSchedule(spec.n, spec.resolved_schedule(), script)
+    return dataclasses.replace(
+        spec,
+        adversary=ScriptedAdversary(script, seed=spec.seed),
+        conditions=conditions,
+        schedule=schedule,
+        meta={**spec.meta, "attack": script.name},
+    )

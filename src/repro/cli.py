@@ -6,6 +6,10 @@ library is explorable without writing a script:
 * ``figure1``  — the Figure 1 curve (β̃ vs γ);
 * ``run``      — one protocol run with a summary;
 * ``attack``   — the §1 split-vote attack, baseline vs η-expiration;
+  with ``--script`` a named scheduled-attack script from
+  :mod:`repro.attacks` instead, on either backend (``--backend
+  deployment --processes 2`` exercises the coordinator-broadcast
+  phase path of the adversarial proxy transport);
 * ``outage``   — a correlated participation outage replay;
 * ``tune-eta`` — the operator's η menu for a given per-round churn;
 * ``deploy``   — a real-time asyncio gossip deployment;
@@ -43,7 +47,26 @@ from repro.workloads import ethereum_outage_scenario, split_vote_attack_scenario
 #: The named experiment grids of :data:`repro.analysis.batch.GRIDS`,
 #: spelled out so the parser does not import the batch layer just to
 #: build its ``choices`` (``tests/test_cli.py`` pins the two in sync).
-SWEEP_GRID_NAMES = ("ablation-beta", "deploy-smoke", "figure1", "pi-eta", "sleepiness")
+SWEEP_GRID_NAMES = (
+    "ablation-beta",
+    "attacks",
+    "attacks-deploy",
+    "deploy-smoke",
+    "figure1",
+    "pi-eta",
+    "sleepiness",
+)
+
+#: The named scripts of :data:`repro.attacks.ATTACKS`, spelled out for
+#: the same reason (``tests/test_cli.py`` pins the two in sync).
+ATTACK_SCRIPT_NAMES = (
+    "equivocation-storm",
+    "lossy-links",
+    "partition-heal",
+    "partition-surge",
+    "sleep-storm",
+    "surge-recover",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,10 +105,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeline", action="store_true", help="print the round-by-round strip chart")
     p.add_argument("--save", metavar="PATH", default=None, help="save the trace as JSON")
 
-    p = sub.add_parser("attack", help="replay the §1 split-vote attack")
+    p = sub.add_parser(
+        "attack", help="replay the §1 split-vote attack or run a scheduled attack script"
+    )
     p.add_argument("--n", type=int, default=20)
     p.add_argument("--pi", type=int, default=1)
     p.add_argument("--eta", type=int, default=2)
+    p.add_argument(
+        "--script",
+        choices=ATTACK_SCRIPT_NAMES,
+        default=None,
+        help="run this named script from repro.attacks instead of the split-vote replay",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["simulator", "deployment"],
+        default="simulator",
+        help="substrate for --script runs (the split-vote replay is simulator-only)",
+    )
+    p.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="worker processes for --backend deployment (1 = in-process)",
+    )
+    p.add_argument(
+        "--delta-ms", type=float, default=20.0, help="synchrony bound δ (deployment backend)"
+    )
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="total rounds for --script (default: script length + 4 recovery rounds)",
+    )
+    p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("outage", help="replay a correlated participation outage")
     p.add_argument("--n", type=int, default=50)
@@ -251,6 +304,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_attack(args) -> int:
+    if args.script is not None:
+        return _cmd_attack_script(args)
     rows = []
     for protocol, eta in (("mmr", 0), ("resilient", args.eta)):
         config = split_vote_attack_scenario(protocol, eta=eta, pi=args.pi, n=args.n)
@@ -268,6 +323,61 @@ def _cmd_attack(args) -> int:
         )
     )
     return 0
+
+
+def _cmd_attack_script(args) -> int:
+    from repro.attacks import apply_script, get_script
+    from repro.engine.backend import run_spec
+    from repro.engine.spec import RunSpec
+
+    script = get_script(args.script, args.n)
+    rounds = args.rounds if args.rounds is not None else script.total_rounds + 4
+    backend = None
+    if args.backend == "deployment":
+        from repro.engine.deploy_backend import DeploymentBackend
+
+        backend = DeploymentBackend(
+            delta_s=args.delta_ms / 1000.0, processes=args.processes
+        )
+    rows = []
+    resilient_safe = True
+    for protocol, eta in (("mmr", 0), ("resilient", args.eta)):
+        spec = apply_script(
+            RunSpec(n=args.n, rounds=rounds, protocol=protocol, eta=eta, seed=args.seed),
+            script,
+        )
+        result = run_spec(spec, backend)
+        trace = result.trace
+        safety = check_safety(trace)
+        audit = (result.extras.get("attack") or {}).get("totals") if backend else None
+        audit_text = (
+            " ".join(f"{key}={audit[key]}" for key in sorted(audit)) if audit else "—"
+        )
+        rows.append(
+            [
+                f"{protocol} (η={eta})",
+                safety.ok,
+                len(trace.decisions),
+                max_reorg_depth(trace),
+                audit_text,
+            ]
+        )
+        if protocol == "resilient":
+            resilient_safe = safety.ok
+    print(
+        format_table(
+            ["protocol", "safe", "decisions", "max reorg depth", "proxy audit"],
+            rows,
+            title=(
+                f"Scripted attack '{script.name}' "
+                f"({script.total_rounds}+{rounds - script.total_rounds} rounds, "
+                f"n={args.n}, {args.backend})"
+            ),
+        )
+    )
+    # MMR breaking is the paper's headline; the resilient protocol
+    # breaking is a bug — only the latter fails the command.
+    return 0 if resilient_safe else 1
 
 
 def _cmd_outage(args) -> int:
@@ -448,7 +558,13 @@ def _cmd_soak(args) -> int:
             await server.stop()
         return result, scraped
 
-    result, scraped = asyncio.run(run_service())
+    try:
+        result, scraped = asyncio.run(run_service())
+    except RuntimeError as exc:
+        # A dead worker, a torn control channel, or a deployment
+        # timeout is a failed soak, not a traceback: report and exit 1.
+        print(f"soak: FAILED — {exc}")
+        return 1
     trace = result.trace
     safety = check_safety(trace)
     extras = result.extras

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto.hashing import encode_fields, sha256_hex
 from repro.crypto.signatures import KeyRegistry, SecretKey
 
 _PRECISION = 1 << 256

@@ -45,6 +45,7 @@ import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.attacks.adversary import ScriptedAdversary
 from repro.chain.block import Block, genesis_block
 from repro.chain.store import BlockBuffer
 from repro.chain.tree import BlockTree
@@ -56,13 +57,13 @@ from repro.engine.backend import (
     base_meta,
     check_adversary_message,
     count_kinds,
-    offer_transactions,
 )
 from repro.engine.conditions import NetworkConditions, conditions_from_network
 from repro.engine.ingest import IngestPipeline
 from repro.engine.registry import PROTOCOLS, ProtocolRegistry
 from repro.engine.spec import RunSpec
 from repro.net.gossip import GossipNetwork, regular_topology
+from repro.net.proxy_transport import AUDIT_KEYS, ProxyTransport
 from repro.net.socket_transport import (
     encode_frame,
     read_frame,
@@ -170,6 +171,21 @@ class DeploymentBackend(ExecutionBackend):
             seed=spec.seed,
             surges=conditions.surge_windows(clock.round_s),
         )
+        # A scripted adversary's delivery effects (partition/surge/drop)
+        # are realised physically by the proxy layer in front of the
+        # fabric; its corruption and send powers flow through the normal
+        # adversary seam below.
+        proxy: ProxyTransport | None = None
+        fabric = transport
+        if isinstance(spec.adversary, ScriptedAdversary):
+            proxy = ProxyTransport(
+                transport,
+                spec.adversary.timeline,
+                seed=spec.seed,
+                round_s=clock.round_s,
+                base_latency_s=self.delta_s / 8,
+            )
+            fabric = proxy
         # Each node owns a private tree: the deployment models real
         # processes, which cannot intern each other's memory, so the
         # simulator's shared-chain views are deliberately not used here
@@ -183,7 +199,7 @@ class DeploymentBackend(ExecutionBackend):
             for pid in range(spec.n)
         }
         network = GossipNetwork(
-            transport,
+            fabric,
             regular_topology(spec.n, self.gossip_degree, seed=spec.seed),
             on_deliver=lambda pid, message: nodes[pid].on_gossip(message),
             current_round=clock.current_round if self.gossip_seen_horizon is not None else None,
@@ -224,6 +240,8 @@ class DeploymentBackend(ExecutionBackend):
         transport.start()
         clock.start()
         network.start()
+        if proxy is not None:
+            proxy.schedule_phases()
         started = asyncio.get_running_loop().time()
 
         offsets = clock_skew_offsets(spec, self.clock_skew_s)
@@ -242,7 +260,7 @@ class DeploymentBackend(ExecutionBackend):
 
             while True:
                 await asyncio.sleep(0.25)
-                _sample_gauges(hub, transport, network, nodes)
+                _sample_gauges(hub, fabric, network, nodes)
                 collector.push("worker0", hub.snapshot())
 
         sampler = (
@@ -276,13 +294,15 @@ class DeploymentBackend(ExecutionBackend):
                 await sampler
             except asyncio.CancelledError:
                 pass
+        if proxy is not None:
+            proxy.cancel_timers()
         await network.stop()
         wall = asyncio.get_running_loop().time() - started
 
         if collector is not None:
             from repro.runtime.worker import _sample_gauges
 
-            _sample_gauges(hub, transport, network, nodes)
+            _sample_gauges(hub, fabric, network, nodes)
             collector.push("worker0", hub.snapshot())
 
         pending: list[Block] = []
@@ -302,6 +322,11 @@ class DeploymentBackend(ExecutionBackend):
             "adversary_tree": tree,
             "gossip": network.stats_totals(),
         }
+        if proxy is not None:
+            extras["attack"] = {
+                "totals": proxy.audit_totals(),
+                "per_phase": [dict(row) for row in proxy.audit],
+            }
         if hub is not None:
             extras["metrics"] = hub.snapshot()
         return EngineResult(
@@ -317,11 +342,18 @@ class DeploymentBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     async def _execute_multiprocess(self, spec: RunSpec) -> EngineResult:
         """Shard the deployment across spawned workers and merge results."""
-        if spec.adversary is not None:
+        scripted = isinstance(spec.adversary, ScriptedAdversary)
+        if spec.adversary is not None and not scripted:
             raise ValueError(
-                "multi-process deployments do not support adversaries: the "
-                "adversary's send power needs the omniscient shared tree, "
-                "which cannot span processes — run with processes=1"
+                "multi-process deployments do not support bespoke adversaries: "
+                "the adversary's send power needs the omniscient shared tree, "
+                "which cannot span processes — script the attack "
+                "(repro.attacks) or run with processes=1"
+            )
+        if scripted and spec.adversary.script.has_equivocation():
+            raise ValueError(
+                "equivocation needs in-process signing power, which no "
+                "worker holds — run equivocating scripts with processes=1"
             )
         if self.protocols is not PROTOCOLS:
             raise ValueError(
@@ -385,6 +417,13 @@ class DeploymentBackend(ExecutionBackend):
             except (asyncio.IncompleteReadError, ConnectionResetError):
                 if len(results) < n_workers:
                     fail("a worker's control connection closed before its result")
+            except Exception as exc:  # noqa: BLE001 — a dying handler must fail the run
+                # A worker killed mid-write leaves a truncated pickle
+                # frame: letting the handler task die silently would
+                # hang the run until the budget timeout instead of
+                # failing it promptly.
+                if len(results) < n_workers:
+                    fail(f"control channel failure: {exc!r}")
 
         server = await serve_stream(control_address, handle)
         ctx = multiprocessing.get_context("spawn")
@@ -415,7 +454,20 @@ class DeploymentBackend(ExecutionBackend):
                 writers[wid].write(blob)
                 await writers[wid].drain()
 
+        async def drive_attack_phases(start_wall: float) -> None:
+            # The coordinator owns the script's phase schedule: each
+            # transition is broadcast over the control channel at its
+            # wall-clock instant, and every worker's proxy flips within
+            # socket latency of the same moment (all round clocks are
+            # anchored to the same origin, so "round k" is one instant).
+            for index, start_round in enumerate(spec.adversary.timeline.phase_starts()):
+                if index == 0:
+                    continue
+                await asyncio.sleep(max(0.0, start_wall + start_round * round_s - time.time()))
+                await broadcast(("attack_phase", index))
+
         watcher = loop.create_task(watch_processes())
+        phase_driver: asyncio.Task | None = None
         started = loop.time()
         try:
             for wid, shard in enumerate(shards):
@@ -443,14 +495,19 @@ class DeploymentBackend(ExecutionBackend):
             await wait(dialed_evt, "mesh dialing")
             start_wall = time.time() + 0.5
             await broadcast(("start", start_wall))
+            if scripted:
+                phase_driver = loop.create_task(drive_attack_phases(start_wall))
             await wait(results_evt, "the run")
             await broadcast(("shutdown",))
         finally:
-            watcher.cancel()
-            try:
-                await watcher
-            except asyncio.CancelledError:
-                pass
+            for task in (watcher, phase_driver):
+                if task is None:
+                    continue
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
             server.close()
             await server.wait_closed()
             for proc in procs:
@@ -469,7 +526,11 @@ class DeploymentBackend(ExecutionBackend):
                     sent_by_round[r][k] += counters[k]
         decisions = [decision for payload in ordered for decision in payload["decisions"]]
         pending = [block for payload in ordered for block in payload["blocks"]]
-        byz_by_round = {r: frozenset() for r in range(spec.rounds + 1)}
+        if scripted:
+            timeline = spec.adversary.timeline
+            byz_by_round = {r: timeline.corrupted_at(r) for r in range(spec.rounds + 1)}
+        else:
+            byz_by_round = {r: frozenset() for r in range(spec.rounds + 1)}
         trace = self._assemble_trace(
             spec, conditions, byz_by_round, sent_by_round, decisions, pending
         )
@@ -490,6 +551,13 @@ class DeploymentBackend(ExecutionBackend):
             },
             "mempool": {key: summed("mempool", key) for key in ("shed", "admitted", "occupancy")},
         }
+        if scripted:
+            extras["attack"] = {
+                "totals": {
+                    key: sum((payload.get("attack") or {}).get(key, 0) for payload in ordered)
+                    for key in AUDIT_KEYS
+                }
+            }
         merged = SourcedMetrics()
         for payload in ordered:
             merged.push(f"worker{payload['worker_id']}", payload["metrics"])

@@ -13,9 +13,13 @@ This package makes that substrate concrete:
   content digest at each node.
 * :mod:`repro.net.socket_transport` — the same transport surface over
   real TCP/UNIX-domain sockets, for multi-process deployments.
+* :mod:`repro.net.proxy_transport` — the adversarial proxy layer that
+  applies a scheduled attack script's partition/surge/drop effects in
+  front of either transport, with per-phase audit counters.
 """
 
 from repro.net.gossip import GossipNetwork, GossipNode, regular_topology
+from repro.net.proxy_transport import ProxyTransport
 from repro.net.socket_transport import (
     SocketTransport,
     encode_frame,
@@ -28,6 +32,7 @@ __all__ = [
     "GossipNetwork",
     "GossipNode",
     "LinkLatencyModel",
+    "ProxyTransport",
     "SimTransport",
     "SocketTransport",
     "SurgeWindow",

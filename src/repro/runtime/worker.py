@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from repro.attacks.adversary import ScriptedAdversary
 from repro.chain.transactions import Transaction
 from repro.crypto.signatures import KeyRegistry
 from repro.engine.backend import count_kinds, offer_transactions
@@ -50,6 +51,7 @@ from repro.engine.ingest import IngestPipeline
 from repro.engine.registry import PROTOCOLS
 from repro.engine.spec import RunSpec
 from repro.net.gossip import GossipNetwork, regular_topology
+from repro.net.proxy_transport import ProxyTransport
 from repro.net.socket_transport import SocketTransport, encode_frame, open_stream, read_frame
 from repro.runtime.clock import RoundClock
 from repro.runtime.metrics import MetricsHub
@@ -167,6 +169,9 @@ def worker_main(config: WorkerConfig) -> None:
 def _sample_gauges(hub, transport, network, nodes) -> None:
     """Refresh the point-in-time gauges (queue depths, occupancy)."""
     hub.gauge("transport_queue_depth", sum(transport.queue_depths().values()))
+    export_attack = getattr(transport, "export_metrics", None)
+    if export_attack is not None:
+        export_attack(hub)
     totals = network.stats_totals()
     hub.gauge("gossip_seen_entries", totals["seen_entries"])
     hub.gauge(
@@ -204,6 +209,27 @@ async def _run_worker(config: WorkerConfig) -> None:
         seed=spec.seed,
         surges=conditions.surge_windows(clock.round_s),
     )
+    # A scripted adversary's delivery effects apply physically, through
+    # the proxy layer in front of the socket fabric; its corruption
+    # schedule is a pure function of the (picklable) script, so every
+    # worker resolves the same ``B_r`` without communicating.  Phase
+    # transitions themselves arrive as coordinator control frames.
+    proxy: ProxyTransport | None = None
+    fabric = transport
+    if isinstance(spec.adversary, ScriptedAdversary):
+        timeline = spec.adversary.timeline
+        proxy = ProxyTransport(
+            transport,
+            timeline,
+            seed=spec.seed,
+            round_s=clock.round_s,
+            base_latency_s=config.delta_s / 8,
+        )
+        fabric = proxy
+        byz_by_round = {r: timeline.corrupted_at(r) for r in range(spec.rounds + 1)}
+    else:
+        byz_by_round = {r: frozenset() for r in range(spec.rounds + 1)}
+
     nodes = {
         pid: DeployedNode(
             factory(pid, registry.secret_key(pid), verifier),
@@ -214,14 +240,13 @@ async def _run_worker(config: WorkerConfig) -> None:
     }
     hub = MetricsHub()
     network = GossipNetwork(
-        transport,
+        fabric,
         {pid: topology[pid] for pid in config.shard},
         on_deliver=lambda pid, message: nodes[pid].on_gossip(message),
         current_round=clock.current_round if config.seen_horizon_rounds is not None else None,
         seen_horizon_rounds=config.seen_horizon_rounds,
     )
 
-    byz_by_round = {r: frozenset() for r in range(spec.rounds + 1)}
     sent_by_round = [[0, 0, 0] for _ in range(spec.rounds)]
 
     def publish(pid: int, r: int, message: Message) -> None:
@@ -244,10 +269,31 @@ async def _run_worker(config: WorkerConfig) -> None:
     async def push_metrics_forever() -> None:
         while True:
             await asyncio.sleep(config.metrics_interval_s)
-            _sample_gauges(hub, transport, network, nodes)
+            _sample_gauges(hub, fabric, network, nodes)
             await send_control(("metrics", config.worker_id, hub.snapshot()))
 
+    control_done = asyncio.Event()
+
+    async def pump_control() -> None:
+        # Runs from the moment the run starts: unlike the strictly
+        # sequential handshake frames before it, mid-run frames (attack
+        # phase transitions, shutdown) arrive while the shard is busy
+        # driving nodes, so they need their own reader.
+        try:
+            while True:
+                frame = await read_frame(control_reader)
+                if frame[0] == "attack_phase":
+                    if proxy is not None:
+                        proxy.enter_phase(frame[1])
+                elif frame[0] == "shutdown":
+                    return
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            control_done.set()
+
     pusher: asyncio.Task | None = None
+    pump: asyncio.Task | None = None
     try:
         await transport.start()
         await send_control(("ready", config.worker_id))
@@ -265,6 +311,7 @@ async def _run_worker(config: WorkerConfig) -> None:
         network.start()
 
         offsets = clock_skew_offsets(spec, config.clock_skew_s)
+        pump = loop.create_task(pump_control())
         pusher = loop.create_task(push_metrics_forever())
         await asyncio.gather(
             *(
@@ -292,18 +339,22 @@ async def _run_worker(config: WorkerConfig) -> None:
         # local queues/trees before the final snapshot is taken.
         await asyncio.sleep(config.delta_s)
         await network.stop()
-        _sample_gauges(hub, transport, network, nodes)
-        await send_control(("result", config.worker_id, _result_payload(config, nodes, sent_by_round, transport, network, hub)))
-        frame = await read_frame(control_reader)
-        assert frame[0] == "shutdown", frame
+        _sample_gauges(hub, fabric, network, nodes)
+        payload = _result_payload(config, nodes, sent_by_round, transport, network, hub, proxy)
+        await send_control(("result", config.worker_id, payload))
+        await control_done.wait()
     finally:
         if pusher is not None:
             pusher.cancel()
+        if pump is not None:
+            pump.cancel()
+        if proxy is not None:
+            proxy.cancel_timers()
         await transport.close()
         control_writer.close()
 
 
-def _result_payload(config, nodes, sent_by_round, transport, network, hub) -> dict:
+def _result_payload(config, nodes, sent_by_round, transport, network, hub, proxy=None) -> dict:
     """This shard's contribution to the merged deployment result."""
     blocks = {}
     for node in nodes.values():
@@ -334,5 +385,6 @@ def _result_payload(config, nodes, sent_by_round, transport, network, hub) -> di
             "admitted": sum(getattr(pool, "admitted_count", 0) for pool in mempools),
             "occupancy": sum(len(pool) for pool in mempools),
         },
+        "attack": proxy.audit_totals() if proxy is not None else None,
         "metrics": hub.snapshot(),
     }

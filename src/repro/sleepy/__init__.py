@@ -91,6 +91,7 @@ __all__ = [
     "SpikeSchedule",
     "SplitVoteAttack",
     "StaticVoteAdversary",
+    "WithholdingAdversary",
     "SynchronousNetwork",
     "TableSchedule",
     "Trace",

@@ -1,0 +1,1 @@
+"""Scheduled-attack DSL, scripted adversary, and substrate-equivalence tests."""

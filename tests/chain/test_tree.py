@@ -4,7 +4,7 @@ import pytest
 
 from repro.chain.block import GENESIS_TIP, Block, genesis_block
 from repro.chain.transactions import Transaction
-from repro.chain.tree import BlockTree, MissingParentError, UnknownBlockError
+from repro.chain.tree import MissingParentError, UnknownBlockError
 
 from tests.conftest import extend, make_chain
 

@@ -4,7 +4,7 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.ga_properties import check_clique_validity, check_ga_properties
-from repro.chain.block import GENESIS_TIP, genesis_block
+from repro.chain.block import GENESIS_TIP
 from repro.core.extended_ga import ExtendedGAInstance, InitialVote
 from repro.protocols.graded_agreement import tally_votes
 

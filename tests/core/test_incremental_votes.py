@@ -14,7 +14,7 @@ import random
 import pytest
 
 from repro.core.expiration import LatestVoteStore
-from repro.harness import TOBRunConfig, run_tob
+from repro.harness import TOBRunConfig
 from repro.sleepy.adversary import EquivocatingVoteAdversary
 from repro.sleepy.messages import EQUIVOCATED_VOTE
 from repro.sleepy.schedule import RandomChurnSchedule

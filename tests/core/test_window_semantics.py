@@ -9,7 +9,7 @@ import pytest
 
 from repro.chain.block import Block, genesis_block
 from repro.core.resilient_tob import ResilientTOBProcess
-from repro.sleepy.messages import CachedVerifier, make_propose, make_vote
+from repro.sleepy.messages import make_propose, make_vote
 
 
 @pytest.fixture

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.chain.block import Block, genesis_block
-from repro.crypto.signatures import KeyRegistry, VerificationCache
+from repro.chain.block import Block
+from repro.crypto.signatures import VerificationCache
 from repro.engine.ingest import IngestPipeline
 from repro.sleepy.messages import (
     EQUIVOCATED_VOTE,

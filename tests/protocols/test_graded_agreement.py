@@ -9,7 +9,6 @@ from repro.protocols.graded_agreement import (
     select_current_round_votes,
     tally_votes,
 )
-from repro.sleepy.messages import VoteMessage
 
 from tests.conftest import extend
 

@@ -81,6 +81,34 @@ def test_multiprocess_run_with_workload_churn_and_telemetry():
     assert metrics["histograms"]["decision_latency_s"]["count"] > 0
 
 
+def test_worker_death_fails_the_run_instead_of_hanging():
+    """Kill one worker mid-run: the coordinator must surface a
+    RuntimeError (which ``repro soak`` turns into exit code 1), not
+    hang on the control channel or report a partial result as success."""
+    import asyncio
+    import multiprocessing
+
+    spec = RunSpec(n=4, rounds=120, protocol="resilient", eta=2, seed=0)
+    backend = DeploymentBackend(delta_s=0.05, processes=2)
+
+    async def scenario():
+        before = set(multiprocessing.active_children())
+        run = asyncio.ensure_future(backend.execute_async(spec))
+        for _ in range(200):
+            workers = [p for p in multiprocessing.active_children() if p not in before]
+            if len(workers) == 2 and all(p.pid for p in workers):
+                break
+            await asyncio.sleep(0.05)
+        else:
+            run.cancel()
+            pytest.fail("workers never spawned")
+        workers[0].kill()
+        with pytest.raises(RuntimeError, match="exited"):
+            await run
+
+    asyncio.run(scenario())
+
+
 def test_single_process_metrics_collector_receives_snapshots():
     from repro.runtime.metrics import SourcedMetrics
 

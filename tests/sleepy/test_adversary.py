@@ -4,7 +4,6 @@ import pytest
 
 from repro.chain.block import genesis_block
 from repro.chain.tree import BlockTree
-from repro.crypto.signatures import KeyRegistry
 from repro.sleepy.adversary import (
     AdversaryContext,
     CrashAdversary,

@@ -5,7 +5,7 @@ from collections.abc import Sequence
 import pytest
 
 from repro.crypto.signatures import KeyRegistry
-from repro.sleepy.adversary import Adversary, NullAdversary
+from repro.sleepy.adversary import NullAdversary
 from repro.sleepy.messages import Message, make_vote
 from repro.sleepy.network import SynchronousNetwork, WindowedAsynchrony
 from repro.sleepy.process import Process

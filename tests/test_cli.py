@@ -30,6 +30,41 @@ def test_attack_compares_protocols(capsys):
     assert "no" not in resilient_line.split()
 
 
+def test_attack_script_runs_on_the_simulator(capsys):
+    assert main(["attack", "--script", "partition-heal", "--n", "8", "--eta", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "Scripted attack 'partition-heal'" in out
+    resilient_line = next(line for line in out.splitlines() if line.startswith("resilient"))
+    assert "no" not in resilient_line.split()
+
+
+def test_attack_script_names_match_the_library():
+    from repro.attacks import ATTACKS
+    from repro.cli import ATTACK_SCRIPT_NAMES
+
+    assert tuple(sorted(ATTACKS)) == ATTACK_SCRIPT_NAMES
+
+
+def test_attack_rejects_unknown_script():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["attack", "--script", "no-such-attack"])
+
+
+def test_soak_reports_worker_death_cleanly(capsys, monkeypatch):
+    """The kill-a-worker contract at the CLI layer: a dead worker is a
+    one-line failure and exit code 1, not a traceback (the backend-level
+    kill itself is pinned in tests/runtime/test_worker.py)."""
+    from repro.engine.deploy_backend import DeploymentBackend
+
+    async def doomed(self, spec):
+        raise RuntimeError("worker 1 exited with code -9")
+
+    monkeypatch.setattr(DeploymentBackend, "execute_async", doomed)
+    assert main(["soak", "--duration", "1", "--n", "4", "--processes", "2"]) == 1
+    out = capsys.readouterr().out
+    assert "soak: FAILED" in out and "worker 1 exited" in out
+
+
 def test_run_with_timeline_and_save(capsys, tmp_path):
     target = tmp_path / "run.json"
     assert main(
