@@ -1,0 +1,157 @@
+"""Wire throughput: frame v2 batching vs the per-frame socket path.
+
+PR 7's multi-process substrate paid one pickle, one loop timer, and one
+socket write per (payload, destination) pair — a transaction broadcast
+at n = 64 cost 63 of each.  The batched send path (frame v2) coalesces
+every frame due to the same worker in the same delivery slot into one
+length-prefixed batch write whose payload bodies are pickled once per
+fan-out and referenced by offset, and the delivery wheel arms one timer
+per slot instead of one per message.
+
+This bench drives identical sustained-submission traffic
+(:class:`~repro.workloads.transactions.SubmissionRateWorkload`) through
+real :class:`~repro.net.socket_transport.SocketTransport` meshes —
+spawned worker processes, real sockets — in both wire modes and reports
+the sustained transactions/second.  Modes are interleaved per repeat and
+the best repeat per mode is compared (host CPU-frequency drift hits
+both sides; a minimum-wall estimator filters it out).
+
+Wall-clock gates run off CI only (shared runners are noisy); the
+deterministic counters are pinned everywhere: one payload pickle per
+fan-out, batch writes an order of magnitude rarer than frames, byte
+volume collapsed, every expected frame delivered.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.net.wire_bench import WireBenchConfig, run_wire_benchmark
+
+BENCH_CONFIG = {
+    "n": 64,
+    "processes": 4,
+    "transactions": 2048,
+    "rate_per_round": 64,
+    "payload_bytes": 512,
+    "repeats": 3,
+    "seed": 0,
+}
+
+#: Required sustained-throughput advantage of the batched wire path.
+MIN_SPEEDUP = 3.0
+
+
+def _config(batching: bool) -> WireBenchConfig:
+    return WireBenchConfig(
+        n=BENCH_CONFIG["n"],
+        processes=BENCH_CONFIG["processes"],
+        transactions=BENCH_CONFIG["transactions"],
+        rate_per_round=BENCH_CONFIG["rate_per_round"],
+        payload_bytes=BENCH_CONFIG["payload_bytes"],
+        seed=BENCH_CONFIG["seed"],
+        batching=batching,
+    )
+
+
+def test_wire_throughput_speedup(record, bench_json):
+    samples: dict[bool, list[float]] = {True: [], False: []}
+    best: dict[bool, dict | None] = {True: None, False: None}
+    for _ in range(BENCH_CONFIG["repeats"]):
+        for batching in (True, False):
+            report = run_wire_benchmark(_config(batching))
+            samples[batching].append(report["wall_s"])
+            if best[batching] is None or report["tx_per_s"] > best[batching]["tx_per_s"]:
+                best[batching] = report
+    batched, unbatched = best[True], best[False]
+    speedup = batched["tx_per_s"] / unbatched["tx_per_s"]
+
+    # ------------------------------------------------------------------
+    # Deterministic pins (gate everywhere, including CI)
+    # ------------------------------------------------------------------
+    n = BENCH_CONFIG["n"]
+    transactions = BENCH_CONFIG["transactions"]
+    shard_size = n // BENCH_CONFIG["processes"]
+    remote_frames = transactions * (n - shard_size)
+    for report in (batched, unbatched):
+        totals = report["totals"]
+        assert totals["submitted"] == transactions
+        assert totals["received"] == transactions * (n - 1)
+        assert totals["frames_sent"] == remote_frames
+        assert totals["frames_received"] == remote_frames
+        assert totals["misrouted"] == 0
+
+    # The fan-out pickles each payload exactly once on the batched path
+    # and once per remote destination on the legacy path.
+    assert batched["totals"]["payload_encodes"] == transactions
+    assert batched["totals"]["payload_reuses"] == remote_frames - transactions
+    assert unbatched["totals"]["payload_encodes"] == remote_frames
+    assert unbatched["totals"]["payload_reuses"] == 0
+
+    # Batch writes are an order of magnitude rarer than the frames they
+    # carry, every batch written is decoded, and the legacy path never
+    # produces one.
+    assert 0 < batched["totals"]["batches_sent"] <= remote_frames // 8
+    assert batched["totals"]["batches_received"] == batched["totals"]["batches_sent"]
+    assert unbatched["totals"]["batches_sent"] == 0
+
+    # Interned bodies collapse the byte volume.
+    assert batched["totals"]["bytes_sent"] * 4 < unbatched["totals"]["bytes_sent"]
+
+    # Timer budget is O(slots), not O(messages): each batched worker
+    # armed far fewer loop timers than the frames it scheduled.
+    for worker in batched["workers"]:
+        assert worker["timers_created"] is not None
+        assert worker["timers_created"] * 4 < worker["sent"]
+
+    # ------------------------------------------------------------------
+    # Wall-clock gate (off CI)
+    # ------------------------------------------------------------------
+    if not os.environ.get("CI"):
+        assert speedup >= MIN_SPEEDUP, (
+            f"batched wire path {speedup:.2f}x vs the per-frame baseline; "
+            f"need >= {MIN_SPEEDUP}x"
+        )
+
+    record(
+        "wire throughput (sustained submission, n=%d, %d processes, %d txs)\n"
+        "%-12s %10s %10s %12s %12s\n"
+        "%-12s %10.0f %10.3f %12d %12d\n"
+        "%-12s %10.0f %10.3f %12d %12d\n"
+        "speedup %.2fx   bytes %0.1fx smaller   encodes %dx fewer"
+        % (
+            n,
+            BENCH_CONFIG["processes"],
+            transactions,
+            "mode",
+            "tx/s",
+            "wall_s",
+            "batches",
+            "bytes",
+            "frame v2",
+            batched["tx_per_s"],
+            batched["wall_s"],
+            batched["totals"]["batches_sent"],
+            batched["totals"]["bytes_sent"],
+            "per-frame",
+            unbatched["tx_per_s"],
+            unbatched["wall_s"],
+            unbatched["totals"]["batches_sent"],
+            unbatched["totals"]["bytes_sent"],
+            speedup,
+            unbatched["totals"]["bytes_sent"] / batched["totals"]["bytes_sent"],
+            unbatched["totals"]["payload_encodes"] // batched["totals"]["payload_encodes"],
+        )
+    )
+    bench_json(
+        samples[True],
+        speedup=speedup,
+        batched_tx_per_s=batched["tx_per_s"],
+        unbatched_tx_per_s=unbatched["tx_per_s"],
+        batched_cpu_s=batched["cpu_s"],
+        unbatched_cpu_s=unbatched["cpu_s"],
+        batched_bytes=batched["totals"]["bytes_sent"],
+        unbatched_bytes=unbatched["totals"]["bytes_sent"],
+        batches_sent=batched["totals"]["batches_sent"],
+        unbatched_samples_s=samples[False],
+    )

@@ -117,6 +117,11 @@ class DeploymentBackend(ExecutionBackend):
     #: (see :class:`~repro.net.gossip.GossipNode`); ``None`` = retain
     #: forever, the historical behaviour for bounded experiments.
     gossip_seen_horizon: int | None = None
+    #: The batched wire path (frame v2 batch writes, digest-interned
+    #: payload encoding, δ/8 slot-coalesced delivery timers) on every
+    #: substrate flavour; ``False`` keeps the historical per-frame
+    #: pickle/timer/write path — the wire-throughput bench's baseline.
+    wire_batching: bool = True
     protocols: ProtocolRegistry = field(repr=False, default_factory=lambda: PROTOCOLS)
 
     name = "deployment"
@@ -170,6 +175,12 @@ class DeploymentBackend(ExecutionBackend):
             jitter_s=self.delta_s / 8,
             seed=spec.seed,
             surges=conditions.surge_windows(clock.round_s),
+            # The in-process queue path rides the same delivery wheel
+            # as the socket fabric: one timer per slot, not per message.
+            # Half the modelled jitter width, so quantization (< one
+            # slot) hides inside jitter with real-time margin to spare
+            # before the 0.9 Δ receive phase even when the host stalls.
+            slot_s=self.delta_s / 16 if self.wire_batching else None,
         )
         # A scripted adversary's delivery effects (partition/surge/drop)
         # are realised physically by the proxy layer in front of the
@@ -485,6 +496,7 @@ class DeploymentBackend(ExecutionBackend):
                     clock_skew_s=self.clock_skew_s,
                     seen_horizon_rounds=self.gossip_seen_horizon,
                     mempool_capacity=self.mempool_capacity,
+                    wire_batching=self.wire_batching,
                 )
                 proc = ctx.Process(target=worker_main, args=(config,), daemon=True)
                 proc.start()
@@ -543,7 +555,18 @@ class DeploymentBackend(ExecutionBackend):
             "shards": shards,
             "transport": {
                 key: summed("transport", key)
-                for key in ("sent", "frames_sent", "frames_received", "misrouted")
+                for key in (
+                    "sent",
+                    "frames_sent",
+                    "frames_received",
+                    "misrouted",
+                    "batches_sent",
+                    "batches_received",
+                    "bytes_sent",
+                    "bytes_received",
+                    "payload_encodes",
+                    "payload_reuses",
+                )
             },
             "gossip": {
                 key: summed("gossip", key)

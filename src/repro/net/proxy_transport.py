@@ -32,6 +32,16 @@ Every interference is audited per phase (``delayed`` / ``dropped`` /
 ``partitioned`` frame counts) and exported through the run's
 :class:`~repro.runtime.metrics.MetricsHub`, so a run can *prove* its
 attack actually bit.
+
+The proxy sits **in front of** the fabric, so the batched wire path
+underneath changes nothing about attack semantics: every logical frame
+passes through :meth:`send` individually, and only the survivors reach
+the inner transport to be coalesced into frame v2 batch writes.  Drop
+coins are tossed per frame, partitions hold per frame, and surges delay
+per frame — a batch on the wire never becomes the unit of interference.
+Surge re-injections ride the inner transport's delivery wheel when it
+has one (``defer``), keeping the timer budget O(slots) even while an
+attack delays a whole broadcast storm.
 """
 
 from __future__ import annotations
@@ -144,11 +154,25 @@ class ProxyTransport:
             return
         if state.surged(src, dst):
             extra = (state.surge_factor - 1.0) * self.base_latency_s
-            loop = asyncio.get_running_loop()
-            self._timers.append(loop.call_later(extra, self.inner.send, src, dst, payload))
+            defer = getattr(self.inner, "defer", None)
+            if defer is not None:
+                defer(extra, self.inner.send, src, dst, payload)
+            else:
+                loop = asyncio.get_running_loop()
+                self._timers.append(loop.call_later(extra, self.inner.send, src, dst, payload))
             counters["delayed"] += 1
             return
         self.inner.send(src, dst, payload)
+
+    def send_many(self, src: int, dsts, payload: object) -> None:
+        """Decompose a fan-out into per-frame :meth:`send` calls.
+
+        Never forwarded to the inner transport's bulk path: drop coins,
+        partition checks, and surge delays are defined *per frame*, and
+        they must stay that way even when the caller batches its sends.
+        """
+        for dst in dsts:
+            self.send(src, dst, payload)
 
     def __getattr__(self, name: str):
         # Everything but ``send`` (recv, latency, start, anchor, close,

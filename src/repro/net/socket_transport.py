@@ -13,12 +13,28 @@ substrate — and, because latency streams are per-link and content
 seeded, a sharded run draws exactly the modelled latencies the
 single-process run would (real socket hops add on top; δ absorbs them).
 
-Wire format: every frame is a 4-byte big-endian length followed by a
-pickle of ``(src, dst, payload)``.  Workers form a full mesh — every
-worker dials every other worker once and uses that connection for its
-outgoing frames; the accepting side only reads.  Addresses are UNIX
-domain socket paths (strings) or ``(host, port)`` TCP tuples, so the
-same framing crosses hosts unchanged.
+Wire format: every write is a 4-byte big-endian length followed by a
+blob.  Two blob layouts share the stream, distinguished by their first
+byte:
+
+* **v1 single frame** — a pickle of ``(src, dst, payload)`` (pickles at
+  protocol ≥ 2 always start with the ``0x80`` PROTO opcode).  The
+  control channel speaks only v1, and v1 data frames from an unbatched
+  peer are always accepted.
+* **frame v2 batch** — version byte ``0x02``, then an **intern table**
+  of distinct encoded payload bodies (u16 count, each body
+  length-prefixed u32), then a frame list (u32 count, each frame
+  ``u32 src · u32 dst · u16 body index``).  Every frame coalesced into
+  the same delivery slot for the same worker rides one batch write, and
+  a payload broadcast to many destinations is pickled once and
+  referenced by offset — the per-destination cost falls from one pickle
+  + one timer + one write to ten bytes of header.
+
+Workers form a full mesh — every worker dials every other worker once
+and uses that connection for its outgoing frames; the accepting side
+only reads.  Addresses are UNIX domain socket paths (strings) or
+``(host, port)`` TCP tuples, so the same framing crosses hosts
+unchanged.
 
 Frames are never dropped: an in-order stream plus unbounded receive
 queues preserve the model's "delayed, not lost" dissemination
@@ -30,12 +46,15 @@ discarded.
 from __future__ import annotations
 
 import asyncio
+import math
 import pickle
 import socket
 import struct
-from collections.abc import Iterable, Mapping
+from collections import OrderedDict
+from collections.abc import Iterable, Mapping, Sequence
 
-from repro.net.transport import LinkLatencyModel, SurgeWindow
+from repro.net.transport import DeliveryWheel, FrameQueue, LinkLatencyModel, SurgeWindow
+from repro.sleepy.messages import Message, verification_digest
 
 #: ``str`` → UNIX domain socket path, ``(host, port)`` → TCP.
 Address = str | tuple[str, int]
@@ -45,9 +64,19 @@ _HEADER = struct.Struct(">I")
 #: trigger a multi-gigabyte allocation.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
+#: First blob byte of a frame v2 batch.  Unambiguous against v1: a
+#: pickle at protocol ≥ 2 always begins with the PROTO opcode ``0x80``.
+BATCH_VERSION = 0x02
+_BATCH_MARKER = bytes([BATCH_VERSION])
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_FRAME_REF = struct.Struct(">IIH")
+#: Fixed batch overhead: version byte + body count + frame count.
+_BATCH_BASE = 1 + _U16.size + _U32.size
+
 
 def encode_frame(payload: object) -> bytes:
-    """One length-prefixed pickle frame for ``payload``."""
+    """One length-prefixed v1 pickle frame for ``payload``."""
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     if len(blob) > MAX_FRAME_BYTES:
         raise ValueError(f"frame of {len(blob)} bytes exceeds the {MAX_FRAME_BYTES} cap")
@@ -55,12 +84,149 @@ def encode_frame(payload: object) -> bytes:
 
 
 async def read_frame(reader: asyncio.StreamReader) -> object:
-    """Read one frame; raises :class:`asyncio.IncompleteReadError` at EOF."""
+    """Read one v1 frame; raises :class:`asyncio.IncompleteReadError` at EOF."""
     header = await reader.readexactly(_HEADER.size)
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ValueError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap")
     return pickle.loads(await reader.readexactly(length))
+
+
+def encode_batch(
+    frames: Sequence[tuple[int, int, object, bytes]],
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> list[bytes]:
+    """Length-prefixed frame v2 batch writes for ``frames``.
+
+    Each frame is ``(src, dst, intern_key, body)`` where ``body`` is the
+    payload's pickle and ``intern_key`` groups equal bodies (the encode
+    cache supplies the payload's verification digest, or a body-identity
+    fallback for foreign payloads).  Bodies are written once per batch
+    and referenced by offset.  A batch that would exceed ``max_bytes``
+    splits cleanly at a frame boundary (bodies are re-emitted in the
+    next chunk); a single frame whose lone batch would still exceed the
+    cap raises, exactly like an oversized v1 frame.
+    """
+    chunks: list[bytes] = []
+    start = 0
+    while start < len(frames):
+        bodies: list[bytes] = []
+        index: dict[object, int] = {}
+        refs: list[tuple[int, int, int]] = []
+        size = _BATCH_BASE
+        i = start
+        while i < len(frames):
+            _src, _dst, key, body = frames[i]
+            body_index = index.get(key)
+            extra = _FRAME_REF.size
+            if body_index is None:
+                extra += _U32.size + len(body)
+            if size + extra > max_bytes or (body_index is None and len(bodies) > 0xFFFF - 1):
+                if not refs:
+                    raise ValueError(
+                        f"single frame of {len(body)} bytes exceeds the {max_bytes} batch cap"
+                    )
+                break
+            if body_index is None:
+                body_index = index[key] = len(bodies)
+                bodies.append(body)
+            refs.append((frames[i][0], frames[i][1], body_index))
+            size += extra
+            i += 1
+        parts = [_BATCH_MARKER, _U16.pack(len(bodies))]
+        for body in bodies:
+            parts.append(_U32.pack(len(body)))
+            parts.append(body)
+        parts.append(_U32.pack(len(refs)))
+        for ref in refs:
+            parts.append(_FRAME_REF.pack(*ref))
+        blob = b"".join(parts)
+        chunks.append(_HEADER.pack(len(blob)) + blob)
+        start = i
+    return chunks
+
+
+def decode_batch(blob: bytes) -> list[tuple[int, int, object]]:
+    """Decode one frame v2 batch blob into ``(src, dst, payload)`` frames.
+
+    Each distinct body is unpickled exactly once: every frame
+    referencing it shares the resulting payload object, mirroring the
+    in-process bus handing one canonical instance to many receivers.
+    Truncated or inconsistent batches raise :class:`ValueError` — a torn
+    batch is a framing error, never a silent partial delivery.
+    """
+    if not blob or blob[0] != BATCH_VERSION:
+        raise ValueError("not a frame v2 batch blob")
+    view = memoryview(blob)
+    try:
+        offset = 1
+        (n_bodies,) = _U16.unpack_from(view, offset)
+        offset += _U16.size
+        payloads = []
+        for _ in range(n_bodies):
+            (length,) = _U32.unpack_from(view, offset)
+            offset += _U32.size
+            if offset + length > len(blob):
+                raise ValueError("torn batch frame: truncated body")
+            payloads.append(pickle.loads(view[offset : offset + length]))
+            offset += length
+        (n_frames,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        frames = []
+        for _ in range(n_frames):
+            src, dst, body_index = _FRAME_REF.unpack_from(view, offset)
+            offset += _FRAME_REF.size
+            frames.append((src, dst, payloads[body_index]))
+    except (struct.error, IndexError, pickle.UnpicklingError, EOFError) as exc:
+        raise ValueError(f"torn batch frame: {exc!r}") from None
+    if offset != len(blob):
+        raise ValueError("torn batch frame: trailing bytes")
+    return frames
+
+
+class EncodedPayloadCache:
+    """Digest-interned encoded payload bodies for send fan-outs.
+
+    A broadcast hands the *same* payload object to ``send`` once per
+    destination; this cache pickles it on first sight and reuses the
+    bytes for every later destination, so a fan-out at n = 1000 costs
+    one pickle, not ~1000.  Entries are keyed by object identity —
+    unforgeable, and sound because the entry holds a strong reference
+    (an ``id`` can never be recycled while its entry lives).  For
+    protocol messages the entry also carries the **verification
+    digest**, computed fresh from message content at first encode and
+    never read from the instance's memoised slots (those are
+    attacker-supplied state on adversary-constructed objects — trusting
+    them would let a transplanted digest substitute cached bytes for a
+    different message, the censorship shape the gossip layer already
+    defends against).  The digest keys the batch intern table, so two
+    distinct instances of one logical message still share a single body
+    on the wire.  LRU-bounded: a flood of distinct payloads evicts, it
+    never grows without bound.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self._capacity = capacity
+        #: id(payload) -> (payload ref, intern key, encoded body).
+        self._entries: OrderedDict[int, tuple[object, object, bytes]] = OrderedDict()
+
+    def encode(self, payload: object) -> tuple[object, bytes, bool]:
+        """``(intern_key, body, freshly_encoded)`` for ``payload``."""
+        key = id(payload)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is payload:
+            self._entries.move_to_end(key)
+            return entry[1], entry[2], False
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        intern_key: object = (
+            verification_digest(payload) if isinstance(payload, Message) else ("raw", body)
+        )
+        self._entries[key] = (payload, intern_key, body)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return intern_key, body, True
 
 
 async def open_stream(address) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
@@ -110,6 +276,8 @@ class SocketTransport:
         jitter_s: float = 0.001,
         seed: int = 0,
         surges: tuple[SurgeWindow, ...] = (),
+        batching: bool = True,
+        slot_s: float | None = None,
     ) -> None:
         if n <= 0:
             raise ValueError("need at least one node")
@@ -119,16 +287,33 @@ class SocketTransport:
         self._owner = dict(owner)
         self._addresses = dict(addresses)
         self._latency = LinkLatencyModel(base_latency_s, jitter_s, seed, surges)
-        self._queues: dict[int, asyncio.Queue] = {}
+        self._queues: dict[int, FrameQueue] = {}
         self._server: asyncio.AbstractServer | None = None
         self._peer_writers: dict[int, asyncio.StreamWriter] = {}
         self._reader_tasks: list[asyncio.Task] = []
         self._origin: float | None = None
+        self._batching = batching
+        #: Delivery slot width: δ/8 in deployments (the base link
+        #: latency), so quantization hides inside the modelled jitter.
+        self._slot_s = slot_s if slot_s is not None else (base_latency_s or 0.0005)
+        self.wheel = DeliveryWheel(self._slot_s) if batching else None
+        self._encode_cache = EncodedPayloadCache()
+        #: (slot, worker id) -> frames awaiting that slot's batch write.
+        self._slot_batches: dict[tuple[int, int], list[tuple[int, int, object, bytes]]] = {}
         #: Sends initiated by this worker's nodes (local + remote).
         self.sent_count = 0
-        #: Frames written to / read from the socket mesh.
+        #: Logical frames written to / read from the socket mesh.
         self.frames_sent = 0
         self.frames_received = 0
+        #: Batch writes issued / batch blobs decoded (frame v2 only).
+        self.batches_sent = 0
+        self.batches_received = 0
+        #: Wire bytes written / read (headers included).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Payload pickles actually performed vs interned-bytes reuses.
+        self.payload_encodes = 0
+        self.payload_reuses = 0
         #: Frames that arrived for a pid this worker does not host.
         self.misrouted_count = 0
 
@@ -137,7 +322,7 @@ class SocketTransport:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind this worker's listener and create the local queues."""
-        self._queues = {pid: asyncio.Queue() for pid in self._local_pids}
+        self._queues = {pid: FrameQueue() for pid in self._local_pids}
         self._server = await serve_stream(self._addresses[self.worker_id], self._accept)
 
     async def connect(self) -> None:
@@ -161,7 +346,14 @@ class SocketTransport:
         )
 
     async def close(self) -> None:
-        """Tear down the listener, peer connections, and reader tasks."""
+        """Tear down the listener, peer connections, and reader tasks.
+
+        Pending wheel slots are flushed first — deliveries land in local
+        queues and outstanding batches are written — so teardown never
+        loses a frame that a per-message timer path would have delivered.
+        """
+        if self.wheel is not None:
+            self.wheel.flush()
         for task in self._reader_tasks:
             task.cancel()
         for task in self._reader_tasks:
@@ -195,23 +387,128 @@ class SocketTransport:
         """Send ``payload`` to ``dst`` after the modelled link latency.
 
         Local destinations loop back through in-process queues; remote
-        ones are framed onto the owning worker's connection once the
-        modelled latency has elapsed (the real socket adds its own).
+        ones ride the owning worker's connection once the modelled
+        latency has elapsed (the real socket adds its own).  With
+        batching on (the default) deliveries are bucketed into wheel
+        slots — one timer per slot — and every remote frame sharing a
+        ``(slot, worker)`` bucket coalesces into a single frame v2 batch
+        write whose payload bodies are pickled once per fan-out and
+        referenced by offset.  ``batching=False`` keeps the historical
+        one-pickle-one-timer-one-write-per-frame path (the benchmark
+        baseline).
         """
         if self._origin is None:
             raise RuntimeError("transport not anchored")
-        delay = self.latency(src, dst, self.now())
+        # One clock read serves both the model time and the wheel slot:
+        # this runs once per (payload, destination) pair, the hottest
+        # line of a deployment, so the send path reads the loop clock
+        # once and calls the latency model directly.
         loop = asyncio.get_running_loop()
-        if dst in self._local_pids:
-            loop.call_later(delay, self._queues[dst].put_nowait, (src, payload))
-        else:
-            frame = encode_frame((src, dst, payload))
-            loop.call_later(delay, self._write_frame, self._owner[dst], frame)
+        loop_time = loop.time()
+        delay = self._latency.latency(src, dst, loop_time - self._origin)
         self.sent_count += 1
+        if self.wheel is None:
+            if dst in self._local_pids:
+                loop.call_later(delay, self._queues[dst].put_nowait, (src, payload))
+            else:
+                self.payload_encodes += 1
+                frame = encode_frame((src, dst, payload))
+                loop.call_later(delay, self._write_frame, self._owner[dst], frame)
+            return
+        slot = math.ceil((loop_time + delay) / self._slot_s)
+        if dst in self._local_pids:
+            self.wheel.schedule(slot, self._queues[dst].put_nowait, (src, payload))
+            return
+        intern_key, body, fresh = self._encode_cache.encode(payload)
+        if fresh:
+            self.payload_encodes += 1
+        else:
+            self.payload_reuses += 1
+        key = (slot, self._owner[dst])
+        pending = self._slot_batches.get(key)
+        if pending is None:
+            pending = self._slot_batches[key] = []
+            self.wheel.schedule(slot, self._flush_batch, key)
+        pending.append((src, dst, intern_key, body))
+
+    def send_many(self, src: int, dsts: Iterable[int], payload: object) -> None:
+        """Fan ``payload`` out from ``src`` to every pid in ``dsts``.
+
+        Semantically identical to calling :meth:`send` per destination —
+        same per-link latencies, same counters — but the fan-out's fixed
+        costs (clock read, encode-cache probe) are paid once instead of
+        once per destination, which is where a broadcast's send-side
+        time goes.  The adversarial proxy deliberately does **not**
+        forward this method: it decomposes fan-outs into per-frame
+        :meth:`send` calls so drop coins and partition checks stay
+        per-frame.
+        """
+        if self._origin is None:
+            raise RuntimeError("transport not anchored")
+        loop = asyncio.get_running_loop()
+        loop_time = loop.time()
+        at = loop_time - self._origin
+        sample = self._latency.latency
+        if self.wheel is None:
+            for dst in dsts:
+                delay = sample(src, dst, at)
+                self.sent_count += 1
+                if dst in self._local_pids:
+                    loop.call_later(delay, self._queues[dst].put_nowait, (src, payload))
+                else:
+                    self.payload_encodes += 1
+                    frame = encode_frame((src, dst, payload))
+                    loop.call_later(delay, self._write_frame, self._owner[dst], frame)
+            return
+        encoded: tuple[object, bytes] | None = None
+        for dst in dsts:
+            delay = sample(src, dst, at)
+            self.sent_count += 1
+            slot = math.ceil((loop_time + delay) / self._slot_s)
+            if dst in self._local_pids:
+                self.wheel.schedule(slot, self._queues[dst].put_nowait, (src, payload))
+                continue
+            if encoded is None:
+                intern_key, body, fresh = self._encode_cache.encode(payload)
+                encoded = (intern_key, body)
+                if fresh:
+                    self.payload_encodes += 1
+                else:
+                    self.payload_reuses += 1
+            else:
+                intern_key, body = encoded
+                self.payload_reuses += 1
+            key = (slot, self._owner[dst])
+            pending = self._slot_batches.get(key)
+            if pending is None:
+                pending = self._slot_batches[key] = []
+                self.wheel.schedule(slot, self._flush_batch, key)
+            pending.append((src, dst, intern_key, body))
+
+    def defer(self, delay_s: float, callback, *args) -> None:
+        """Schedule ``callback`` after ``delay_s`` on the slot wheel.
+
+        Used by the adversarial proxy's surge path so attack-delayed
+        frames share the O(slots) timer budget; falls back to one loop
+        timer per call on an unbatched transport.
+        """
+        if self.wheel is not None:
+            self.wheel.schedule(self.wheel.slot_for(delay_s), callback, *args)
+        else:
+            asyncio.get_running_loop().call_later(delay_s, callback, *args)
 
     async def recv(self, pid: int) -> tuple[int, object]:
         """Wait for the next ``(source, payload)`` addressed to local ``pid``."""
         return await self._queues[pid].get()
+
+    def recv_nowait(self, pid: int) -> tuple[int, object] | None:
+        """The next already-arrived frame for local ``pid``, or ``None``.
+
+        A decoded batch lands all its frames in one synchronous burst,
+        so a consumer that drains the backlog after each ``recv`` wakes
+        once per batch instead of once per frame.
+        """
+        return self._queues[pid].get_nowait()
 
     def queue_depths(self) -> dict[int, int]:
         """Pending (already-arrived, not yet received) messages per local pid."""
@@ -228,18 +525,48 @@ class SocketTransport:
             return
         writer.write(frame)
         self.frames_sent += 1
+        self.bytes_sent += len(frame)
+
+    def _flush_batch(self, key: tuple[int, int]) -> None:
+        """Write every frame parked under ``(slot, worker)`` as v2 batches."""
+        frames = self._slot_batches.pop(key, None)
+        if not frames:
+            return
+        writer = self._peer_writers.get(key[1])
+        if writer is None or writer.is_closing():
+            # Peer already gone (shutdown race): nothing to deliver to.
+            self.misrouted_count += len(frames)
+            return
+        for chunk in encode_batch(frames):
+            writer.write(chunk)
+            self.batches_sent += 1
+            self.bytes_sent += len(chunk)
+        self.frames_sent += len(frames)
 
     async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self._reader_tasks.append(asyncio.current_task())
         try:
             while True:
-                src, dst, payload = await read_frame(reader)
-                self.frames_received += 1
-                queue = self._queues.get(dst)
-                if queue is None:
-                    self.misrouted_count += 1
-                    continue
-                queue.put_nowait((src, payload))
+                header = await reader.readexactly(_HEADER.size)
+                (length,) = _HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise ValueError(
+                        f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} cap"
+                    )
+                blob = await reader.readexactly(length)
+                self.bytes_received += _HEADER.size + length
+                if blob[:1] == _BATCH_MARKER:
+                    frames = decode_batch(blob)
+                    self.batches_received += 1
+                else:
+                    frames = [pickle.loads(blob)]
+                for src, dst, payload in frames:
+                    self.frames_received += 1
+                    queue = self._queues.get(dst)
+                    if queue is None:
+                        self.misrouted_count += 1
+                        continue
+                    queue.put_nowait((src, payload))
         except (asyncio.IncompleteReadError, ConnectionResetError):
             pass
         except asyncio.CancelledError:

@@ -35,6 +35,35 @@ import json
 from collections.abc import Mapping
 
 
+#: Cumulative wire-path counters a transport may expose; exported as
+#: gauges (workers push *cumulative* snapshots which the coordinator
+#: replaces per source, so gauges — last write wins — are the correct
+#: kind; hub-owned counters would double-count on every re-push).
+WIRE_COUNTER_ATTRS = (
+    "frames_sent",
+    "frames_received",
+    "batches_sent",
+    "batches_received",
+    "bytes_sent",
+    "bytes_received",
+    "payload_encodes",
+    "payload_reuses",
+)
+
+
+def export_wire_gauges(hub: "MetricsHub", transport) -> None:
+    """Publish ``transport``'s wire counters on ``hub`` as ``wire_*`` gauges.
+
+    Tolerant of fabrics without the batched wire path (``SimTransport``
+    exposes none of the batch counters): missing attributes are skipped,
+    so every substrate exports exactly what it measures.
+    """
+    for attr in WIRE_COUNTER_ATTRS:
+        value = getattr(transport, attr, None)
+        if value is not None:
+            hub.gauge(f"wire_{attr}", value)
+
+
 def _bucket_ladder() -> tuple[float, ...]:
     # 0.1 ms .. ~1677 s in exact powers of two: merge-stable and wide
     # enough for decision latencies at any δ this repository runs.

@@ -54,7 +54,7 @@ from repro.net.gossip import GossipNetwork, regular_topology
 from repro.net.proxy_transport import ProxyTransport
 from repro.net.socket_transport import SocketTransport, encode_frame, open_stream, read_frame
 from repro.runtime.clock import RoundClock
-from repro.runtime.metrics import MetricsHub
+from repro.runtime.metrics import MetricsHub, export_wire_gauges
 from repro.runtime.node import DeployedNode
 from repro.sleepy.messages import Message
 
@@ -158,6 +158,9 @@ class WorkerConfig:
     seen_horizon_rounds: int | None = None
     mempool_capacity: int | None = None
     metrics_interval_s: float = 0.25
+    #: Frame v2 batch writes + slot-coalesced delivery timers (the
+    #: default wire path); ``False`` keeps the per-frame legacy path.
+    wire_batching: bool = True
     meta: dict = field(default_factory=dict)
 
 
@@ -169,6 +172,7 @@ def worker_main(config: WorkerConfig) -> None:
 def _sample_gauges(hub, transport, network, nodes) -> None:
     """Refresh the point-in-time gauges (queue depths, occupancy)."""
     hub.gauge("transport_queue_depth", sum(transport.queue_depths().values()))
+    export_wire_gauges(hub, transport)
     export_attack = getattr(transport, "export_metrics", None)
     if export_attack is not None:
         export_attack(hub)
@@ -208,6 +212,8 @@ async def _run_worker(config: WorkerConfig) -> None:
         jitter_s=config.delta_s / 8,
         seed=spec.seed,
         surges=conditions.surge_windows(clock.round_s),
+        batching=config.wire_batching,
+        slot_s=config.delta_s / 8,
     )
     # A scripted adversary's delivery effects apply physically, through
     # the proxy layer in front of the socket fabric; its corruption
@@ -378,6 +384,12 @@ def _result_payload(config, nodes, sent_by_round, transport, network, hub, proxy
             "frames_sent": transport.frames_sent,
             "frames_received": transport.frames_received,
             "misrouted": transport.misrouted_count,
+            "batches_sent": transport.batches_sent,
+            "batches_received": transport.batches_received,
+            "bytes_sent": transport.bytes_sent,
+            "bytes_received": transport.bytes_received,
+            "payload_encodes": transport.payload_encodes,
+            "payload_reuses": transport.payload_reuses,
         },
         "gossip": network.stats_totals(),
         "mempool": {

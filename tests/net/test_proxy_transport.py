@@ -153,3 +153,64 @@ def test_drop_wildcards_match_any_link():
     proxy.send(3, 2, "b")
     assert proxy.inner.sent == []
     assert proxy.audit_totals()["dropped"] == 2
+
+
+def test_send_many_decomposes_and_never_uses_the_inner_bulk_path():
+    class BulkInner(FakeInner):
+        def send_many(self, src, dsts, payload):
+            raise AssertionError("fan-outs must not bypass per-frame interception")
+
+    proxy = _proxy(SCRIPT, inner=BulkInner())
+    proxy.send_many(0, (1, 2, 3), "x")
+    assert proxy.inner.sent == [(0, 1, "x"), (0, 2, "x"), (0, 3, "x")]
+    # Under a wildcard p=1 drop every frame of the fan-out is discarded.
+    lossy = AttackScript(name="all", phases=(phase(1), phase(1, drop(None, None, 1.0))))
+    proxy = _proxy(lossy, inner=BulkInner())
+    proxy.enter_phase(1)
+    proxy.send_many(0, (1, 2, 3), "y")
+    assert proxy.inner.sent == []
+    assert proxy.audit_totals()["dropped"] == 3
+
+
+def test_fanout_drop_coins_are_tossed_per_frame_on_a_batched_inner():
+    from repro.net.transport import SimTransport
+
+    script = AttackScript(name="lossy", phases=(phase(1), phase(1, drop(None, None, 0.5))))
+
+    async def scenario():
+        inner = SimTransport(8, base_latency_s=0.0, jitter_s=0.0, seed=0, slot_s=0.001)
+        inner.start()
+        proxy = _proxy(script, inner=inner)
+        proxy.enter_phase(1)
+        proxy.send_many(0, range(1, 8), "x")
+        dropped = proxy.audit_totals()["dropped"]
+        # A batch-level coin would kill all seven frames or none; the
+        # per-link streams split the fan-out.
+        assert 0 < dropped < 7
+        assert inner.sent_count == 7 - dropped
+        await asyncio.sleep(0.01)
+        delivered = sum(1 for pid in range(1, 8) if inner.recv_nowait(pid) is not None)
+        assert delivered == 7 - dropped
+
+    asyncio.run(scenario())
+
+
+def test_fanout_surges_delay_every_frame_through_the_wheel():
+    from repro.net.transport import SimTransport
+
+    script = AttackScript(name="slow", phases=(phase(1), phase(1, surge(5.0))))
+
+    async def scenario():
+        inner = SimTransport(4, base_latency_s=0.001, jitter_s=0.0, seed=0, slot_s=0.001)
+        inner.start()
+        proxy = _proxy(script, base_latency_s=0.001, inner=inner)
+        proxy.enter_phase(1)
+        proxy.send_many(0, (1, 2, 3), "x")
+        # One delayed count per frame, not one per fan-out.
+        assert proxy.audit_totals()["delayed"] == 3
+        assert inner.sent_count == 0
+        await asyncio.sleep(0.05)
+        for pid in (1, 2, 3):
+            assert inner.recv_nowait(pid) == (0, "x")
+
+    asyncio.run(scenario())

@@ -6,8 +6,12 @@ import pickle
 import pytest
 
 from repro.net.socket_transport import (
+    BATCH_VERSION,
     MAX_FRAME_BYTES,
+    EncodedPayloadCache,
     SocketTransport,
+    decode_batch,
+    encode_batch,
     encode_frame,
     read_frame,
     supports_unix_sockets,
@@ -143,3 +147,275 @@ def test_send_requires_anchor():
     )
     with pytest.raises(RuntimeError, match="not anchored"):
         transport.send(0, 1, "x")
+    with pytest.raises(RuntimeError, match="not anchored"):
+        transport.send_many(0, (1,), "x")
+
+
+# ----------------------------------------------------------------------
+# Frame v2 batches
+# ----------------------------------------------------------------------
+def _body(payload):
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def test_batch_roundtrip_shares_one_decoded_body():
+    body = _body(["shared"])
+    chunks = encode_batch([(0, dst, "key", body) for dst in range(1, 6)])
+    assert len(chunks) == 1
+    blob = chunks[0][4:]
+    assert blob[0] == BATCH_VERSION
+    frames = decode_batch(blob)
+    assert frames == [(0, dst, ["shared"]) for dst in range(1, 6)]
+    # One body on the wire, one unpickle: every frame shares the object.
+    first = frames[0][2]
+    assert all(payload is first for _, _, payload in frames)
+
+
+def test_batch_splits_cleanly_at_the_byte_cap():
+    body = _body(b"x" * 100)
+    frames = [(0, dst, "key", body) for dst in range(10)]
+    chunks = encode_batch(frames, max_bytes=180)
+    assert len(chunks) > 1
+    decoded = []
+    for chunk in chunks:
+        assert len(chunk) - 4 <= 180
+        decoded.extend(decode_batch(chunk[4:]))
+    # Bodies are re-emitted per chunk; no frame is lost or reordered.
+    assert [(src, dst) for src, dst, _ in decoded] == [(0, dst) for dst in range(10)]
+    assert all(payload == b"x" * 100 for _, _, payload in decoded)
+
+
+def test_single_oversized_frame_rejected():
+    with pytest.raises(ValueError, match="exceeds"):
+        encode_batch([(0, 1, "key", _body(b"y" * 100))], max_bytes=50)
+
+
+def test_torn_batch_blobs_raise_value_error():
+    (chunk,) = encode_batch([(0, dst, "key", _body("p")) for dst in range(3)])
+    blob = chunk[4:]
+    # Truncations at any depth are a framing error, not a partial delivery.
+    for cut in (1, 2, 5, len(blob) - 3):
+        with pytest.raises(ValueError, match="torn batch"):
+            decode_batch(blob[:cut])
+    with pytest.raises(ValueError, match="torn batch"):
+        decode_batch(blob + b"junk")
+    with pytest.raises(ValueError, match="not a frame v2"):
+        decode_batch(b"\x80rest")
+
+
+def test_partial_batch_frame_at_eof_raises_incomplete_read():
+    (chunk,) = encode_batch([(0, 1, "key", _body("p"))])
+
+    async def torn_stream():
+        reader = asyncio.StreamReader()
+        reader.feed_data(chunk[: len(chunk) // 2])
+        reader.feed_eof()
+        with pytest.raises(asyncio.IncompleteReadError):
+            await read_frame(reader)
+
+    asyncio.run(torn_stream())
+
+
+def test_encoded_payload_cache_reuses_bytes_and_interns_equal_bodies():
+    cache = EncodedPayloadCache(capacity=2)
+    payload = ["p"]
+    key1, body1, fresh1 = cache.encode(payload)
+    key2, body2, fresh2 = cache.encode(payload)
+    assert fresh1 and not fresh2
+    assert key1 == key2 and body1 is body2
+    # A distinct but equal payload pickles again, yet interns to the
+    # same batch key — one body on the wire for one logical payload.
+    key3, _body3, fresh3 = cache.encode(["p"])
+    assert fresh3 and key3 == key1
+    # Eviction (capacity 2) stays correct: re-encoding is fresh again.
+    cache.encode(["q"])
+    cache.encode(["r"])
+    _, _, fresh4 = cache.encode(payload)
+    assert fresh4
+
+
+def test_encoded_payload_cache_interns_messages_by_content_digest():
+    from repro.crypto.signatures import KeyRegistry
+    from repro.sleepy.messages import make_vote
+
+    registry = KeyRegistry(1)
+    key = registry.secret_key(0)
+    # Two distinct instances of the same logical vote: equal content,
+    # different identity.  They pickle separately but intern to one
+    # wire body via the freshly computed verification digest.
+    vote_a = make_vote(registry, key, 3, None)
+    vote_b = make_vote(registry, key, 3, None)
+    assert vote_a is not vote_b
+    cache = EncodedPayloadCache()
+    key_a, _, fresh_a = cache.encode(vote_a)
+    key_b, _, fresh_b = cache.encode(vote_b)
+    assert fresh_a and fresh_b
+    assert key_a == key_b
+
+
+@pytest.mark.skipif(not supports_unix_sockets(), reason="needs AF_UNIX")
+def test_broadcast_pickles_once_and_rides_one_batch(tmp_path):
+    async def scenario():
+        a, b = _mesh_pair(tmp_path)
+        await a.start()
+        await b.start()
+        await a.connect()
+        await b.connect()
+        a.anchor()
+        b.anchor()
+        try:
+            payload = ["broadcast"]
+            a.send(0, 1, payload)
+            a.send(0, 2, payload)
+            got_1 = await asyncio.wait_for(b.recv(1), timeout=2)
+            got_2 = await asyncio.wait_for(b.recv(2), timeout=2)
+            assert got_1 == (0, ["broadcast"]) and got_2 == (0, ["broadcast"])
+            # The fan-out pickled once, reused once, and both frames
+            # crossed the wire in a single batch write; the receiver
+            # decoded one body that both pids share.
+            assert a.payload_encodes == 1 and a.payload_reuses == 1
+            assert a.batches_sent == 1 and b.batches_received == 1
+            assert a.frames_sent == 2 and b.frames_received == 2
+            assert got_1[1] is got_2[1]
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.skipif(not supports_unix_sockets(), reason="needs AF_UNIX")
+def test_send_many_matches_per_send_counters(tmp_path):
+    async def scenario():
+        a, b = _mesh_pair(tmp_path)
+        await a.start()
+        await b.start()
+        await a.connect()
+        await b.connect()
+        a.anchor()
+        b.anchor()
+        try:
+            a.send_many(0, (1, 2), ["fanout"])
+            got_1 = await asyncio.wait_for(b.recv(1), timeout=2)
+            got_2 = await asyncio.wait_for(b.recv(2), timeout=2)
+            assert got_1 == (0, ["fanout"]) and got_2 == (0, ["fanout"])
+            assert a.sent_count == 2
+            assert a.payload_encodes == 1 and a.payload_reuses == 1
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.skipif(not supports_unix_sockets(), reason="needs AF_UNIX")
+def test_timer_budget_is_per_slot_not_per_message(tmp_path):
+    async def scenario():
+        a, b = _mesh_pair(tmp_path)
+        await a.start()
+        await b.start()
+        await a.connect()
+        await b.connect()
+        a.anchor()
+        b.anchor()
+        try:
+            # 40 frames burst into the same latency envelope: the wheel
+            # arms O(slots) timers, not one per message (zero jitter at
+            # base latency 1 ms → every delivery shares one slot or two).
+            for i in range(20):
+                a.send_many(0, (1, 2), i)
+            for _ in range(20):
+                await asyncio.wait_for(b.recv(1), timeout=2)
+                await asyncio.wait_for(b.recv(2), timeout=2)
+            # 40 frames crossed the wire, but the wheel parked them in
+            # (slot, worker) buckets: a handful of loop timers total.
+            assert a.frames_sent == 40
+            assert a.wheel.timers_created <= 4
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.skipif(not supports_unix_sockets(), reason="needs AF_UNIX")
+def test_unbatched_flag_keeps_the_v1_path(tmp_path):
+    async def scenario():
+        addresses = {0: str(tmp_path / "w0.sock"), 1: str(tmp_path / "w1.sock")}
+        owner = {0: 0, 1: 1, 2: 1}
+        common = dict(base_latency_s=0.001, jitter_s=0.0, seed=0, batching=False)
+        a = SocketTransport(
+            3, local_pids=(0,), owner=owner, worker_id=0, addresses=addresses, **common
+        )
+        b = SocketTransport(
+            3, local_pids=(1, 2), owner=owner, worker_id=1, addresses=addresses, **common
+        )
+        await a.start()
+        await b.start()
+        await a.connect()
+        await b.connect()
+        a.anchor()
+        b.anchor()
+        try:
+            assert a.wheel is None
+            payload = ["legacy"]
+            a.send(0, 1, payload)
+            a.send(0, 2, payload)
+            assert await asyncio.wait_for(b.recv(1), timeout=2) == (0, ["legacy"])
+            assert await asyncio.wait_for(b.recv(2), timeout=2) == (0, ["legacy"])
+            # One pickle, one write per destination — the historical cost.
+            assert a.payload_encodes == 2 and a.payload_reuses == 0
+            assert a.batches_sent == 0 and b.batches_received == 0
+            assert a.frames_sent == 2 and b.frames_received == 2
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.skipif(not supports_unix_sockets(), reason="needs AF_UNIX")
+def test_batched_and_unbatched_peers_interoperate(tmp_path):
+    """v1 and v2 blobs share the stream: an unbatched peer's singles are
+    accepted by a batched one and vice versa (first-byte dispatch)."""
+
+    async def scenario():
+        addresses = {0: str(tmp_path / "w0.sock"), 1: str(tmp_path / "w1.sock")}
+        owner = {0: 0, 1: 1}
+        common = dict(base_latency_s=0.001, jitter_s=0.0, seed=0)
+        a = SocketTransport(
+            2,
+            local_pids=(0,),
+            owner=owner,
+            worker_id=0,
+            addresses=addresses,
+            batching=False,
+            **common,
+        )
+        b = SocketTransport(
+            2,
+            local_pids=(1,),
+            owner=owner,
+            worker_id=1,
+            addresses=addresses,
+            batching=True,
+            **common,
+        )
+        await a.start()
+        await b.start()
+        await a.connect()
+        await b.connect()
+        a.anchor()
+        b.anchor()
+        try:
+            a.send(0, 1, "v1 single")
+            b.send(1, 0, "v2 batch")
+            assert await asyncio.wait_for(b.recv(1), timeout=2) == (0, "v1 single")
+            assert await asyncio.wait_for(a.recv(0), timeout=2) == (1, "v2 batch")
+            assert a.batches_sent == 0 and b.batches_received == 0
+            assert b.batches_sent == 1 and a.batches_received == 1
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(scenario())

@@ -118,3 +118,162 @@ def test_validation():
         SimTransport(0)
     with pytest.raises(ValueError):
         SimTransport(2, base_latency_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# FrameQueue
+# ----------------------------------------------------------------------
+def test_frame_queue_orders_and_wakes_single_reader():
+    from repro.net.transport import FrameQueue
+
+    async def scenario():
+        queue = FrameQueue()
+        assert queue.get_nowait() is None and queue.qsize() == 0
+        queue.put_nowait("a")
+        queue.put_nowait("b")
+        assert queue.qsize() == 2
+        assert await queue.get() == "a"
+        assert queue.get_nowait() == "b"
+        # A parked reader is woken by the next put.
+        getter = asyncio.ensure_future(queue.get())
+        await asyncio.sleep(0)
+        queue.put_nowait("c")
+        assert await asyncio.wait_for(getter, timeout=1) == "c"
+
+    run(scenario())
+
+
+def test_frame_queue_rejects_concurrent_readers():
+    from repro.net.transport import FrameQueue
+
+    async def scenario():
+        queue = FrameQueue()
+        first = asyncio.ensure_future(queue.get())
+        await asyncio.sleep(0)
+        with pytest.raises(RuntimeError, match="single reader"):
+            await queue.get()
+        first.cancel()
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# DeliveryWheel
+# ----------------------------------------------------------------------
+def test_wheel_coalesces_deliveries_into_slot_timers():
+    from repro.net.transport import DeliveryWheel
+
+    async def scenario():
+        wheel = DeliveryWheel(0.005)
+        fired = []
+        slot = wheel.slot_for(0.001)
+        for i in range(25):
+            wheel.schedule(slot, fired.append, i)
+        assert wheel.timers_created == 1
+        assert wheel.scheduled_count == 25
+        assert wheel.pending == 25
+        await asyncio.sleep(0.02)
+        # One loop timer ran every parked delivery, in schedule order.
+        assert fired == list(range(25))
+        assert wheel.pending == 0
+
+    run(scenario())
+
+
+def test_wheel_flush_runs_pending_slots_earliest_first():
+    from repro.net.transport import DeliveryWheel
+
+    async def scenario():
+        wheel = DeliveryWheel(1.0)  # slots far in the future: nothing fires
+        fired = []
+        late, early = wheel.slot_for(5.0), wheel.slot_for(2.0)
+        wheel.schedule(late, fired.append, "late")
+        wheel.schedule(early, fired.append, "early")
+        wheel.flush()
+        assert fired == ["early", "late"]
+        assert wheel.pending == 0
+
+    run(scenario())
+
+
+def test_wheel_cancel_drops_pending_deliveries():
+    from repro.net.transport import DeliveryWheel
+
+    async def scenario():
+        wheel = DeliveryWheel(0.001)
+        fired = []
+        wheel.schedule(wheel.slot_for(0.001), fired.append, "x")
+        wheel.cancel()
+        await asyncio.sleep(0.01)
+        assert fired == [] and wheel.pending == 0
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# The slot-wheel delivery path and fan-out surface
+# ----------------------------------------------------------------------
+def test_sim_transport_delivers_through_the_wheel():
+    async def scenario():
+        transport = SimTransport(3, base_latency_s=0.001, jitter_s=0.0, seed=0, slot_s=0.002)
+        transport.start()
+        for i in range(10):
+            transport.send(0, 1, i)
+            transport.send(0, 2, i)
+        received_1 = [await asyncio.wait_for(transport.recv(1), 2) for _ in range(10)]
+        received_2 = [await asyncio.wait_for(transport.recv(2), 2) for _ in range(10)]
+        assert received_1 == [(0, i) for i in range(10)]
+        assert received_2 == [(0, i) for i in range(10)]
+        # 20 deliveries shared O(slots) timers.
+        assert transport.wheel.scheduled_count == 20
+        assert transport.wheel.timers_created <= 3
+
+    run(scenario())
+
+
+def test_send_many_matches_per_send_semantics():
+    async def scenario():
+        # Same seed and jitter: a fan-out must consume the same
+        # per-link latency streams as the equivalent send loop.
+        loop_sent = SimTransport(4, base_latency_s=0.001, jitter_s=0.002, seed=7)
+        fanout = SimTransport(4, base_latency_s=0.001, jitter_s=0.002, seed=7)
+        loop_sent.start()
+        fanout.start()
+        for dst in (1, 2, 3):
+            loop_sent.send(0, dst, "x")
+        fanout.send_many(0, (1, 2, 3), "x")
+        assert fanout.sent_count == loop_sent.sent_count == 3
+        for dst in (1, 2, 3):
+            assert await asyncio.wait_for(loop_sent.recv(dst), 2) == (0, "x")
+            assert await asyncio.wait_for(fanout.recv(dst), 2) == (0, "x")
+        # Streams advanced identically: the next draw per link matches.
+        for dst in (1, 2, 3):
+            assert loop_sent.latency(0, dst, 0.0) == fanout.latency(0, dst, 0.0)
+
+    run(scenario())
+
+
+def test_recv_nowait_returns_arrived_frames_without_blocking():
+    async def scenario():
+        transport = SimTransport(2, base_latency_s=0.0, jitter_s=0.0, seed=0, slot_s=0.001)
+        transport.start()
+        assert transport.recv_nowait(1) is None
+        transport.send(0, 1, "a")
+        transport.send(0, 1, "b")
+        await transport.recv(1)  # waits for the slot to fire
+        assert transport.recv_nowait(1) == (0, "b")
+        assert transport.recv_nowait(1) is None
+
+    run(scenario())
+
+
+def test_zero_jitter_latency_skips_the_stream_but_matches_it():
+    # The fast path must return exactly what the stream would have.
+    fast = LinkLatencyModel(0.003, 0.0, seed=1)
+    slow = LinkLatencyModel(0.003, 1e-12, seed=1)
+    for _ in range(3):
+        assert fast.latency(0, 1, 0.0) == 0.003
+        assert abs(slow.latency(0, 1, 0.0) - 0.003) < 1e-9
+    # Surge windows still apply on the fast path.
+    surged = LinkLatencyModel(0.003, 0.0, seed=1, surges=(SurgeWindow(0.0, 1.0, 10.0),))
+    assert surged.latency(0, 1, 0.5) == 0.03

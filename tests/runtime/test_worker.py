@@ -75,7 +75,14 @@ def test_multiprocess_run_with_workload_churn_and_telemetry():
     assert check_safety(result.trace).ok
     assert result.trace.decisions
     assert result.extras["mempool"]["admitted"] > 0
-    assert result.extras["transport"]["misrouted"] == 0
+    wire = result.extras["transport"]
+    assert wire["misrouted"] == 0
+    # The sharded run rode the batched wire path: frames coalesced into
+    # batch writes and fan-out payloads were pickled once, then reused.
+    assert 0 < wire["batches_sent"] <= wire["frames_sent"]
+    assert wire["batches_received"] > 0
+    assert wire["payload_reuses"] > 0
+    assert wire["bytes_sent"] > 0
     metrics = result.extras["metrics"]
     assert metrics["counters"]["decisions"] == len(result.trace.decisions)
     assert metrics["histograms"]["decision_latency_s"]["count"] > 0
